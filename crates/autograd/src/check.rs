@@ -1,0 +1,62 @@
+//! Finite-difference gradient checking.
+//!
+//! Used by this crate's tests and re-used by `msd-nn` and `msd-mixer` to
+//! validate composed models end to end.
+
+use crate::{Graph, Var};
+use msd_tensor::Tensor;
+
+/// Checks the analytic gradient of a scalar-valued graph function against
+/// central finite differences.
+///
+/// `build` receives a fresh [`Graph`] and the parameter leaf (registered with
+/// `ParamId` 0 and value `x0`) and must return a scalar loss [`Var`].
+///
+/// Returns the worst relative error across all elements of `x0`.
+///
+/// # Panics
+/// Panics if `build` produces a non-scalar loss or no gradient for the
+/// parameter.
+pub fn gradcheck(x0: &Tensor, eps: f32, build: impl Fn(&Graph, Var) -> Var) -> f32 {
+    // Analytic gradient.
+    let g = Graph::new();
+    let x = g.param(0, x0.clone());
+    let loss = build(&g, x);
+    let grads = g.backward(loss);
+    let analytic = grads
+        .get(0)
+        .expect("gradcheck: no gradient reached the parameter")
+        .clone();
+
+    let eval = |t: &Tensor| -> f32 {
+        let g = Graph::new();
+        let x = g.input(t.clone());
+        let loss = build(&g, x);
+        g.value(loss).item()
+    };
+
+    let mut worst = 0.0f32;
+    for idx in 0..x0.len() {
+        let mut plus = x0.clone();
+        plus.data_mut()[idx] += eps;
+        let mut minus = x0.clone();
+        minus.data_mut()[idx] -= eps;
+        let fd = (eval(&plus) - eval(&minus)) / (2.0 * eps);
+        let an = analytic.data()[idx];
+        let denom = 1.0f32.max(fd.abs()).max(an.abs());
+        let rel = (fd - an).abs() / denom;
+        if rel > worst {
+            worst = rel;
+        }
+    }
+    worst
+}
+
+/// Asserts that [`gradcheck`] passes below `tol`, with a helpful message.
+pub fn assert_gradcheck(x0: &Tensor, eps: f32, tol: f32, build: impl Fn(&Graph, Var) -> Var) {
+    let worst = gradcheck(x0, eps, build);
+    assert!(
+        worst < tol,
+        "gradient check failed: worst relative error {worst} >= {tol}"
+    );
+}

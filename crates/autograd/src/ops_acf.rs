@@ -1,0 +1,224 @@
+//! Fused autocorrelation hinge loss — the first term of the paper's
+//! Residual Loss (Eq. 6).
+//!
+//! For the residual `Z_k ∈ R^{B×C×L}` the paper penalises autocorrelation
+//! coefficients that exceed the white-noise tolerance `α/√L`:
+//!
+//! `L_acf = Σ_{i,j} relu(|a_{i,j}| − α/√L)² / (C·(L−1))`
+//!
+//! with `a_{i,j}` the lag-`j` autocorrelation of channel `i` (Eq. 5),
+//! averaged over the batch. Because the coefficient involves a quotient of
+//! two reductions over the centred series, building it from primitive tape
+//! ops would create O(L) nodes per channel; instead this module computes the
+//! loss *and* its input gradient analytically in one pass, and registers a
+//! single fused node.
+//!
+//! Gradient derivation (per channel, centred series `y_t = z_t − m`,
+//! `D = Σ y²`, `N_j = Σ_{t>j} y_t y_{t−j}`, `a_j = N_j/D`):
+//!
+//! * `∂N_j/∂y_s = y_{s−j}·[s−j ≥ 0] + y_{s+j}·[s+j < L]`
+//! * `∂a_j/∂y_s = (∂N_j/∂y_s − 2·a_j·y_s) / D`
+//! * `∂L/∂a_j  = 2·relu(|a_j|−c)·sign(a_j) / (B·C·(L−1))`
+//! * chain through the centring: `∂L/∂z_s = g_s − mean_t(g_t)`.
+//!
+//! The adjoint is validated against finite differences in
+//! `tests/gradcheck.rs`.
+
+use crate::graph::{Graph, Op, Var};
+use msd_tensor::Tensor;
+
+impl Graph {
+    /// Fused ACF hinge loss over the trailing (time) axis of `z`, shape
+    /// `[B, C, L]` or `[C, L]`. `alpha` is the white-noise tolerance
+    /// multiplier of Eq. 6 (the paper's default corresponds to the classical
+    /// `±2/√L` band, i.e. `alpha = 2`).
+    ///
+    /// Returns a scalar node. Channels whose centred energy is numerically
+    /// zero contribute nothing (a constant residual has no autocorrelation).
+    pub fn acf_hinge_loss(&self, z: Var, alpha: f32) -> Var {
+        let (loss, grad) = self.with_value(z, |t| acf_hinge_forward_backward(t, alpha));
+        self.push_unary(z, loss, Op::AcfHinge { input_grad: grad })
+    }
+}
+
+/// Computes the hinge loss and its gradient with respect to `z` in one pass.
+fn acf_hinge_forward_backward(z: &Tensor, alpha: f32) -> (Tensor, Tensor) {
+    let nd = z.ndim();
+    assert!(nd >= 2, "acf_hinge_loss expects [..., C, L], got {:?}", z.shape());
+    let l = z.shape()[nd - 1];
+    let rows = z.len() / l;
+    assert!(l >= 2, "acf needs at least 2 time steps");
+    let c = alpha / (l as f32).sqrt();
+    let norm = 1.0 / (rows as f32 * (l - 1) as f32);
+
+    let mut total = 0.0f64;
+    let mut grad = Tensor::zeros(z.shape());
+
+    let mut y = vec![0.0f32; l];
+    let mut gy = vec![0.0f32; l];
+    for r in 0..rows {
+        let row = &z.data()[r * l..(r + 1) * l];
+        let mean = row.iter().sum::<f32>() / l as f32;
+        for (yt, &zt) in y.iter_mut().zip(row) {
+            *yt = zt - mean;
+        }
+        let d: f32 = y.iter().map(|v| v * v).sum();
+        if d < 1e-9 {
+            continue;
+        }
+        gy.iter_mut().for_each(|g| *g = 0.0);
+        let inv_d = 1.0 / d;
+        // Accumulated Σ_j w_j · a_j for the −2·a_j·y_s term.
+        let mut wa_sum = 0.0f32;
+        for j in 1..l {
+            let mut n = 0.0f32;
+            for t in j..l {
+                n += y[t] * y[t - j];
+            }
+            let a = n * inv_d;
+            let excess = a.abs() - c;
+            if excess <= 0.0 {
+                continue;
+            }
+            total += (excess as f64) * (excess as f64);
+            let w = 2.0 * excess * a.signum() * norm;
+            wa_sum += w * a;
+            // ∂N_j/∂y_s contributions.
+            let wd = w * inv_d;
+            for s in j..l {
+                gy[s] += wd * y[s - j];
+                gy[s - j] += wd * y[s];
+            }
+        }
+        if wa_sum != 0.0 {
+            let k = 2.0 * wa_sum * inv_d;
+            for (g, &yv) in gy.iter_mut().zip(&y) {
+                *g -= k * yv;
+            }
+        }
+        // Chain through the centring: dz_s = g_s − mean(g).
+        let gmean = gy.iter().sum::<f32>() / l as f32;
+        let out = &mut grad.data_mut()[r * l..(r + 1) * l];
+        for (o, &g) in out.iter_mut().zip(&gy) {
+            *o = g - gmean;
+        }
+    }
+
+    (Tensor::scalar((total * norm as f64) as f32), grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Graph;
+    use msd_tensor::rng::Rng;
+    use msd_tensor::stats::acf;
+
+    #[test]
+    fn white_noise_has_near_zero_loss() {
+        let mut rng = Rng::seed_from(2);
+        let z = Tensor::randn(&[1, 2, 256], 1.0, &mut rng);
+        let g = Graph::new();
+        let v = g.input(z);
+        let loss = g.acf_hinge_loss(v, 2.0);
+        assert!(g.value(loss).item() < 5e-3, "loss {}", g.value(loss).item());
+    }
+
+    #[test]
+    fn periodic_residual_has_large_loss() {
+        let l = 96;
+        let data: Vec<f32> = (0..l)
+            .map(|i| (2.0 * std::f32::consts::PI * i as f32 / 12.0).sin())
+            .collect();
+        let z = Tensor::from_vec(&[1, 1, l], data);
+        let g = Graph::new();
+        let v = g.input(z);
+        let loss = g.acf_hinge_loss(v, 2.0);
+        assert!(g.value(loss).item() > 0.05, "loss {}", g.value(loss).item());
+    }
+
+    #[test]
+    fn constant_residual_contributes_nothing() {
+        let z = Tensor::full(&[1, 1, 32], 7.0);
+        let g = Graph::new();
+        let v = g.param(0, z);
+        let loss = g.acf_hinge_loss(v, 2.0);
+        assert_eq!(g.value(loss).item(), 0.0);
+        let grads = g.backward(loss);
+        assert!(grads.get(0).unwrap().data().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn forward_matches_direct_acf_computation() {
+        // Recompute the hinge loss from the reference acf() and compare.
+        let mut rng = Rng::seed_from(4);
+        let l = 48;
+        let mut data = Vec::new();
+        for _ in 0..2 {
+            // A mix of signal and noise so some lags violate the band.
+            for i in 0..l {
+                let s = (2.0 * std::f32::consts::PI * i as f32 / 8.0).sin();
+                data.push(s + 0.3 * rng.normal());
+            }
+        }
+        let z = Tensor::from_vec(&[1, 2, l], data.clone());
+        let g = Graph::new();
+        let v = g.input(z);
+        let alpha = 2.0;
+        let fused = g.value(g.acf_hinge_loss(v, alpha)).item();
+
+        let c = alpha / (l as f32).sqrt();
+        let mut reference = 0.0f32;
+        for ch in 0..2 {
+            let row = &data[ch * l..(ch + 1) * l];
+            for a in acf(row, l - 1) {
+                let e = (a.abs() - c).max(0.0);
+                reference += e * e;
+            }
+        }
+        reference /= 2.0 * (l - 1) as f32;
+        assert!(
+            (fused - reference).abs() < 1e-4,
+            "fused {fused} vs reference {reference}"
+        );
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let mut rng = Rng::seed_from(5);
+        let l = 16;
+        let z0 = {
+            // signal + noise so the hinge is active at several lags
+            let data: Vec<f32> = (0..2 * l)
+                .map(|i| {
+                    (2.0 * std::f32::consts::PI * (i % l) as f32 / 4.0).sin()
+                        + 0.2 * rng.normal()
+                })
+                .collect();
+            Tensor::from_vec(&[1, 2, l], data)
+        };
+        let f = |t: &Tensor| -> f32 {
+            let g = Graph::new();
+            let v = g.input(t.clone());
+            g.value(g.acf_hinge_loss(v, 2.0)).item()
+        };
+        let g = Graph::new();
+        let v = g.param(0, z0.clone());
+        let loss = g.acf_hinge_loss(v, 2.0);
+        let grads = g.backward(loss);
+        let analytic = grads.get(0).unwrap();
+        let eps = 1e-3;
+        for idx in [0usize, 3, 7, 15, 16, 25, 31] {
+            let mut plus = z0.clone();
+            plus.data_mut()[idx] += eps;
+            let mut minus = z0.clone();
+            minus.data_mut()[idx] -= eps;
+            let fd = (f(&plus) - f(&minus)) / (2.0 * eps);
+            let an = analytic.data()[idx];
+            assert!(
+                (fd - an).abs() < 2e-2 * (1.0 + fd.abs()),
+                "idx {idx}: fd {fd} vs analytic {an}"
+            );
+        }
+    }
+}

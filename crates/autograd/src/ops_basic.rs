@@ -1,0 +1,174 @@
+//! Elementwise and scalar graph ops.
+
+use crate::graph::{Graph, Op, Var};
+use msd_tensor::Tensor;
+
+impl Graph {
+    /// Elementwise `a + b` (same shapes).
+    pub fn add(&self, a: Var, b: Var) -> Var {
+        let value = self.with_value(a, |ta| self.with_value(b, |tb| ta.add(tb)));
+        self.push_binary(a, b, value, Op::Add)
+    }
+
+    /// Elementwise `a - b` (same shapes).
+    pub fn sub(&self, a: Var, b: Var) -> Var {
+        let value = self.with_value(a, |ta| self.with_value(b, |tb| ta.sub(tb)));
+        self.push_binary(a, b, value, Op::Sub)
+    }
+
+    /// Elementwise `a * b` (same shapes).
+    pub fn mul(&self, a: Var, b: Var) -> Var {
+        let value = self.with_value(a, |ta| self.with_value(b, |tb| ta.mul(tb)));
+        self.push_binary(a, b, value, Op::Mul)
+    }
+
+    /// Elementwise `a / b` (same shapes).
+    pub fn div(&self, a: Var, b: Var) -> Var {
+        let value = self.with_value(a, |ta| self.with_value(b, |tb| ta.div(tb)));
+        self.push_binary(a, b, value, Op::Div)
+    }
+
+    /// Elementwise negation.
+    pub fn neg(&self, a: Var) -> Var {
+        let value = self.with_value(a, Tensor::neg);
+        self.push_unary(a, value, Op::Neg)
+    }
+
+    /// Multiplies by the scalar `s`.
+    pub fn scale(&self, a: Var, s: f32) -> Var {
+        let value = self.with_value(a, |t| t.scale(s));
+        self.push_unary(a, value, Op::Scale(s))
+    }
+
+    /// Adds the scalar `s` (constant shift; gradient passes through).
+    pub fn add_scalar(&self, a: Var, s: f32) -> Var {
+        let value = self.with_value(a, |t| t.add_scalar(s));
+        self.push_unary(a, value, Op::AddConst)
+    }
+
+    /// Elementwise multiplication by a constant tensor `c` (no gradient into
+    /// `c`) — used for dropout/droppath masks and imputation masks.
+    pub fn mul_const(&self, a: Var, c: &Tensor) -> Var {
+        let value = self.with_value(a, |t| t.mul(c));
+        self.push_unary(a, value, Op::MulConst(c.clone()))
+    }
+
+    /// Elementwise addition of a constant tensor (no gradient into the
+    /// constant).
+    pub fn add_const(&self, a: Var, c: &Tensor) -> Var {
+        let value = self.with_value(a, |t| t.add(c));
+        self.push_unary(a, value, Op::AddConst)
+    }
+
+    /// Elementwise square.
+    pub fn square(&self, a: Var) -> Var {
+        let value = self.with_value(a, Tensor::square);
+        self.push_unary(a, value, Op::Square)
+    }
+
+    /// Elementwise absolute value (subgradient 0 at the kink).
+    pub fn abs(&self, a: Var) -> Var {
+        let value = self.with_value(a, Tensor::abs);
+        self.push_unary(a, value, Op::Abs)
+    }
+
+    /// Elementwise square root.
+    pub fn sqrt(&self, a: Var) -> Var {
+        let value = self.with_value(a, Tensor::sqrt);
+        self.push_unary(a, value, Op::Sqrt)
+    }
+
+    /// Elementwise reciprocal `1/x`.
+    pub fn recip(&self, a: Var) -> Var {
+        let value = self.with_value(a, |t| t.map(|x| 1.0 / x));
+        self.push_unary(a, value, Op::Recip)
+    }
+
+    /// Broadcast multiply over the last axis: `y[..., j] = a[..., j] * b[j]`
+    /// with `b` 1-D. Gradient flows to both operands (used by LayerNorm's
+    /// gain).
+    pub fn mul_bcast_last(&self, a: Var, b: Var) -> Var {
+        let value = self.with_value(a, |ta| {
+            self.with_value(b, |tb| {
+                let d = tb.shape()[0];
+                assert_eq!(
+                    *ta.shape().last().expect("mul_bcast_last on scalar"),
+                    d,
+                    "mul_bcast_last dim mismatch"
+                );
+                let mut out = ta.clone();
+                for chunk in out.data_mut().chunks_exact_mut(d) {
+                    for (x, &bv) in chunk.iter_mut().zip(tb.data()) {
+                        *x *= bv;
+                    }
+                }
+                out
+            })
+        });
+        self.push_binary(a, b, value, Op::MulBcastLast)
+    }
+
+    /// Broadcast add over the last axis: `y[..., j] = a[..., j] + b[j]` with
+    /// `b` 1-D. Gradient flows to both operands (used by LayerNorm's shift).
+    pub fn add_bcast_last(&self, a: Var, b: Var) -> Var {
+        let value = self.with_value(a, |ta| self.with_value(b, |tb| ta.add_bias(tb)));
+        self.push_binary(a, b, value, Op::AddBcastLast)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Graph;
+    use msd_tensor::Tensor;
+
+    fn t(v: &[f32]) -> Tensor {
+        Tensor::from_vec(&[v.len()], v.to_vec())
+    }
+
+    #[test]
+    fn forward_values_match_tensor_ops() {
+        let g = Graph::new();
+        let a = g.input(t(&[1.0, 2.0]));
+        let b = g.input(t(&[3.0, 4.0]));
+        assert_eq!(g.value(g.add(a, b)).data(), &[4.0, 6.0]);
+        assert_eq!(g.value(g.sub(a, b)).data(), &[-2.0, -2.0]);
+        assert_eq!(g.value(g.mul(a, b)).data(), &[3.0, 8.0]);
+        assert_eq!(g.value(g.div(b, a)).data(), &[3.0, 2.0]);
+        assert_eq!(g.value(g.neg(a)).data(), &[-1.0, -2.0]);
+        assert_eq!(g.value(g.scale(a, 3.0)).data(), &[3.0, 6.0]);
+        assert_eq!(g.value(g.add_scalar(a, 1.0)).data(), &[2.0, 3.0]);
+        assert_eq!(g.value(g.square(a)).data(), &[1.0, 4.0]);
+    }
+
+    #[test]
+    fn div_gradients_follow_quotient_rule() {
+        let g = Graph::new();
+        let a = g.param(0, t(&[6.0]));
+        let b = g.param(1, t(&[2.0]));
+        let q = g.div(a, b);
+        let loss = g.sum_all(q);
+        let grads = g.backward(loss);
+        assert!((grads.get(0).unwrap().data()[0] - 0.5).abs() < 1e-6);
+        assert!((grads.get(1).unwrap().data()[0] + 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mul_const_blocks_constant_grad() {
+        let g = Graph::new();
+        let x = g.param(0, t(&[2.0, 3.0]));
+        let y = g.mul_const(x, &t(&[10.0, 0.0]));
+        let loss = g.sum_all(y);
+        let grads = g.backward(loss);
+        assert_eq!(grads.get(0).unwrap().data(), &[10.0, 0.0]);
+    }
+
+    #[test]
+    fn abs_gradient_is_sign() {
+        let g = Graph::new();
+        let x = g.param(0, t(&[-2.0, 0.0, 5.0]));
+        let y = g.abs(x);
+        let loss = g.sum_all(y);
+        let grads = g.backward(loss);
+        assert_eq!(grads.get(0).unwrap().data(), &[-1.0, 0.0, 1.0]);
+    }
+}

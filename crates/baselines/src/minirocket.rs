@@ -1,0 +1,271 @@
+//! MiniRocket-lite (Dempster et al., KDD 2021) — the fast statistical
+//! classification baseline of the paper's Table XI.
+//!
+//! MiniRocket convolves the series with a fixed set of length-9 kernels
+//! whose weights are −1 or 2 (three 2s per kernel), at exponentially
+//! spaced dilations, and summarises each convolution by PPV (proportion of
+//! positive values) against bias thresholds drawn from the data. A linear
+//! classifier on the PPV features does the classification. This lite
+//! version keeps that design with a reduced kernel/dilation/bias grid and
+//! trains the linear read-out with the workspace's own logistic regression
+//! (softmax + cross-entropy).
+
+use msd_autograd::Graph;
+use msd_nn::{Adam, Ctx, Linear, Optimizer, ParamStore};
+use msd_tensor::rng::Rng;
+use msd_tensor::Tensor;
+
+const KERNEL_LEN: usize = 9;
+
+/// One fixed convolution kernel: positions of the three `2` weights (all
+/// other weights are −1), plus a dilation.
+#[derive(Clone, Debug)]
+struct Kernel {
+    two_positions: [usize; 3],
+    dilation: usize,
+}
+
+/// The fitted transform: kernels plus per-kernel bias thresholds.
+pub struct MiniRocket {
+    kernels: Vec<Kernel>,
+    /// Bias quantiles per kernel (features = kernels × biases).
+    biases: Vec<Vec<f32>>,
+    channels: usize,
+    series_len: usize,
+}
+
+/// A trained MiniRocket classifier: transform + linear read-out.
+pub struct MiniRocketClassifier {
+    transform: MiniRocket,
+    store: ParamStore,
+    readout: Linear,
+}
+
+fn conv_at(series: &[f32], kernel: &Kernel, t: usize) -> f32 {
+    let mut acc = 0.0f32;
+    let len = series.len();
+    for (j, item) in (0..KERNEL_LEN).enumerate() {
+        let offset = item * kernel.dilation;
+        // Centre the receptive field; clamp at the edges (zero padding).
+        let idx = t as isize + offset as isize - (KERNEL_LEN / 2 * kernel.dilation) as isize;
+        if idx < 0 || idx as usize >= len {
+            continue;
+        }
+        let w = if kernel.two_positions.contains(&j) {
+            2.0
+        } else {
+            -1.0
+        };
+        acc += w * series[idx as usize];
+    }
+    acc
+}
+
+impl MiniRocket {
+    /// Builds the kernel set and fits bias thresholds on `sample`
+    /// (`[N, C, L]`): biases are convolution-output quantiles from a few
+    /// training series, as in the reference method.
+    pub fn fit(sample: &Tensor, num_kernels: usize, biases_per_kernel: usize) -> Self {
+        let (n, c, l) = (sample.shape()[0], sample.shape()[1], sample.shape()[2]);
+        // Deterministic kernel grid: enumerate 2-positions patterns and
+        // dilations round-robin.
+        let mut kernels = Vec::with_capacity(num_kernels);
+        let max_dilation = ((l / KERNEL_LEN).max(1)).min(16);
+        let mut pattern = 0usize;
+        while kernels.len() < num_kernels {
+            let a = pattern % KERNEL_LEN;
+            let b = (pattern / 2 + a + 1) % KERNEL_LEN;
+            let c2 = (pattern / 3 + b + 2) % KERNEL_LEN;
+            let dilation = 1 + (pattern % max_dilation);
+            kernels.push(Kernel {
+                two_positions: [a, b, c2],
+                dilation,
+            });
+            pattern += 1;
+        }
+        // Bias thresholds: per kernel, quantiles of the convolution outputs
+        // over a handful of training series (channel 0).
+        let probe_count = n.min(8);
+        let mut biases = Vec::with_capacity(kernels.len());
+        for k in &kernels {
+            let mut values = Vec::new();
+            for i in 0..probe_count {
+                let base = (i * c) * l;
+                let row = &sample.data()[base..base + l];
+                for t in (0..l).step_by(4) {
+                    values.push(conv_at(row, k, t));
+                }
+            }
+            values.sort_by(f32::total_cmp);
+            let qs: Vec<f32> = (1..=biases_per_kernel)
+                .map(|q| {
+                    let idx = q * values.len() / (biases_per_kernel + 1);
+                    values[idx.min(values.len() - 1)]
+                })
+                .collect();
+            biases.push(qs);
+        }
+        Self {
+            kernels,
+            biases,
+            channels: c,
+            series_len: l,
+        }
+    }
+
+    /// Number of output features per series.
+    pub fn num_features(&self) -> usize {
+        self.kernels
+            .iter()
+            .zip(&self.biases)
+            .map(|(_, b)| b.len())
+            .sum::<usize>()
+            * self.channels.min(4)
+    }
+
+    /// PPV feature vector of one series `[C, L]` (flattened row-major in
+    /// the input tensor at `series_idx`).
+    fn features_of(&self, x: &Tensor, series_idx: usize) -> Vec<f32> {
+        let (c, l) = (self.channels, self.series_len);
+        let used_channels = c.min(4); // cap features for wide inputs
+        let mut feats = Vec::with_capacity(self.num_features());
+        for ch in 0..used_channels {
+            let base = (series_idx * c + ch) * l;
+            let row = &x.data()[base..base + l];
+            for (k, biases) in self.kernels.iter().zip(&self.biases) {
+                // Convolve once, then PPV against each bias.
+                let mut counts = vec![0usize; biases.len()];
+                let mut total = 0usize;
+                for t in 0..l {
+                    let v = conv_at(row, k, t);
+                    for (bi, &b) in biases.iter().enumerate() {
+                        if v > b {
+                            counts[bi] += 1;
+                        }
+                    }
+                    total += 1;
+                }
+                for &cnt in &counts {
+                    feats.push(cnt as f32 / total as f32);
+                }
+            }
+        }
+        feats
+    }
+
+    /// Transforms a batch `[N, C, L]` into PPV features `[N, F]`.
+    pub fn transform(&self, x: &Tensor) -> Tensor {
+        let n = x.shape()[0];
+        let f = self.num_features();
+        let mut out = Vec::with_capacity(n * f);
+        for i in 0..n {
+            out.extend(self.features_of(x, i));
+        }
+        Tensor::from_vec(&[n, f], out)
+    }
+}
+
+impl MiniRocketClassifier {
+    /// Fits the transform on the training set and trains the linear
+    /// read-out with softmax cross-entropy.
+    pub fn fit(
+        train_x: &Tensor,
+        train_y: &[usize],
+        classes: usize,
+        num_kernels: usize,
+        epochs: usize,
+    ) -> Self {
+        let transform = MiniRocket::fit(train_x, num_kernels, 3);
+        let feats = transform.transform(train_x);
+        let f = feats.shape()[1];
+        let mut store = ParamStore::new();
+        let mut rng = Rng::seed_from(97);
+        let readout = Linear::new(&mut store, &mut rng, "minirocket.readout", f, classes);
+        let mut opt = Adam::with_lr(5e-3);
+        let n = train_y.len();
+        for _ in 0..epochs {
+            for start in (0..n).step_by(64) {
+                let end = (start + 64).min(n);
+                let batch = feats.narrow(0, start, end - start);
+                let labels = &train_y[start..end];
+                let g = Graph::new();
+                let mut r = Rng::seed_from(0);
+                let ctx = Ctx::new(&g, &store, &mut r);
+                let logits = readout.forward(&ctx, g.input(batch));
+                let loss = g.softmax_cross_entropy(logits, labels);
+                let grads = g.backward(loss);
+                opt.step(&mut store, &grads);
+            }
+        }
+        Self {
+            transform,
+            store,
+            readout,
+        }
+    }
+
+    /// Predicts class labels for a batch `[N, C, L]`.
+    pub fn predict(&self, x: &Tensor) -> Vec<usize> {
+        let feats = self.transform.transform(x);
+        let g = Graph::eval();
+        let mut r = Rng::seed_from(0);
+        let ctx = Ctx::new(&g, &self.store, &mut r);
+        let logits = g.value(self.readout.forward(&ctx, g.input(feats)));
+        logits.argmax_last()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msd_data::classification_datasets;
+    use msd_metrics::accuracy;
+
+    #[test]
+    fn ppv_features_are_proportions() {
+        let mut rng = Rng::seed_from(1);
+        let x = Tensor::randn(&[4, 2, 50], 1.0, &mut rng);
+        let mr = MiniRocket::fit(&x, 16, 3);
+        let f = mr.transform(&x);
+        assert_eq!(f.shape(), &[4, mr.num_features()]);
+        assert!(f.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn transform_is_deterministic() {
+        let mut rng = Rng::seed_from(2);
+        let x = Tensor::randn(&[3, 1, 40], 1.0, &mut rng);
+        let mr = MiniRocket::fit(&x, 8, 2);
+        assert_eq!(mr.transform(&x), mr.transform(&x));
+    }
+
+    #[test]
+    fn classifies_an_easy_synthetic_set_above_chance() {
+        let spec = msd_data::ClassSpec {
+            train_size: 60,
+            test_size: 60,
+            noise: 0.3,
+            ..classification_datasets()
+                .into_iter()
+                .find(|s| s.name == "CR")
+                .unwrap()
+        };
+        let data = spec.generate();
+        let clf = MiniRocketClassifier::fit(&data.train_x, &data.train_y, spec.classes, 48, 20);
+        let preds = clf.predict(&data.test_x);
+        let acc = accuracy(&preds, &data.test_y);
+        let chance = 1.0 / spec.classes as f32;
+        assert!(acc > chance * 2.0, "accuracy {acc} vs chance {chance}");
+    }
+
+    #[test]
+    fn kernels_have_three_two_weights() {
+        let mut rng = Rng::seed_from(3);
+        let x = Tensor::randn(&[2, 1, 32], 1.0, &mut rng);
+        let mr = MiniRocket::fit(&x, 32, 2);
+        for k in &mr.kernels {
+            assert!(k.two_positions.iter().all(|&p| p < KERNEL_LEN));
+            assert!(k.dilation >= 1);
+        }
+    }
+}

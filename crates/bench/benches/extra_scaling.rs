@@ -1,0 +1,79 @@
+//! Extension: scaling behaviour of MSD-Mixer — training-step wall clock
+//! and parameter count versus channel count, horizon, and model width.
+//! Complements the paper's (GPU-based) efficiency discussion with CPU
+//! numbers for this reproduction.
+
+use msd_autograd::Graph;
+use msd_harness::{ModelSpec, Table};
+use msd_mixer::variants::Variant;
+use msd_mixer::Target;
+use msd_nn::{Adam, Ctx, Optimizer, ParamStore, Task};
+use msd_tensor::rng::Rng;
+use msd_tensor::Tensor;
+use std::time::Instant;
+
+fn step_time(c: usize, l: usize, h: usize, d: usize, batch: usize) -> (f64, usize) {
+    let mut store = ParamStore::new();
+    let mut rng = Rng::seed_from(0);
+    let model = ModelSpec::MsdMixer(Variant::Full).build(
+        &mut store,
+        &mut rng,
+        c,
+        l,
+        Task::Forecast { horizon: h },
+        d,
+    );
+    let params = store.num_scalars();
+    let x = Tensor::randn(&[batch, c, l], 1.0, &mut rng);
+    let y = Tensor::randn(&[batch, c, h], 1.0, &mut rng);
+    let mut opt = Adam::with_lr(1e-3);
+    let mut run_once = || {
+        let g = Graph::new();
+        let ctx = Ctx::new(&g, &store, &mut rng);
+        let (_, loss) = model.forward_loss(&ctx, &x, &Target::Series(y.clone()));
+        let grads = g.backward(loss);
+        opt.step(&mut store, &grads);
+    };
+    run_once(); // warmup
+    let t0 = Instant::now();
+    let n = 3;
+    for _ in 0..n {
+        run_once();
+    }
+    (t0.elapsed().as_secs_f64() * 1000.0 / n as f64, params)
+}
+
+fn main() {
+    let _ = msd_bench::banner("Extra — MSD-Mixer scaling (CPU)");
+
+    let mut t = Table::new(
+        "Training-step cost vs channels (L=96, H=96, d=16, B=32)",
+        &["Channels", "ms/step", "Parameters"],
+    );
+    for c in [1usize, 7, 21, 32] {
+        let (ms, params) = step_time(c, 96, 96, 16, 32);
+        t.row(&[c.to_string(), format!("{ms:.1}"), params.to_string()]);
+    }
+    print!("{}", t.render());
+
+    let mut t = Table::new(
+        "Training-step cost vs horizon (C=7, L=96, d=16, B=32)",
+        &["Horizon", "ms/step", "Parameters"],
+    );
+    for h in [96usize, 192, 336, 720] {
+        let (ms, params) = step_time(7, 96, h, 16, 32);
+        t.row(&[h.to_string(), format!("{ms:.1}"), params.to_string()]);
+    }
+    print!("{}", t.render());
+
+    let mut t = Table::new(
+        "Training-step cost vs width d (C=7, L=96, H=96, B=32)",
+        &["d_model", "ms/step", "Parameters"],
+    );
+    for d in [8usize, 16, 32, 64] {
+        let (ms, params) = step_time(7, 96, 96, d, 32);
+        t.row(&[d.to_string(), format!("{ms:.1}"), params.to_string()]);
+    }
+    t.footnote("Single-thread CPU; the paper trains on an RTX 3090 (Sec. IV-A).");
+    print!("{}", t.render());
+}

@@ -1,0 +1,108 @@
+//! Command-line entry point for running any experiment family outside the
+//! bench harness.
+//!
+//! ```sh
+//! cargo run --release -p msd-harness --bin msd-experiment -- long-term
+//! MSD_SCALE=smoke cargo run --release -p msd-harness --bin msd-experiment -- all
+//! ```
+
+use msd_harness::experiments::{
+    ablation, anomaly, case_study, classification, imputation, long_term, short_term,
+};
+use msd_harness::Scale;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: msd-experiment <family>\n\
+         families: long-term | short-term | imputation | anomaly |\n\
+                   classification | ablation | case-study | all\n\
+         scale via MSD_SCALE=smoke|fast|full (default fast);\n\
+         results cached under target/msd-results/"
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let family = std::env::args().nth(1).unwrap_or_else(|| usage());
+    let scale = Scale::from_env();
+    eprintln!("running '{family}' at scale '{}'", scale.name());
+    match family.as_str() {
+        "long-term" => run_long_term(scale),
+        "short-term" => run_short_term(scale),
+        "imputation" => run_imputation(scale),
+        "anomaly" => run_anomaly(scale),
+        "classification" => run_classification(scale),
+        "ablation" => run_ablation(scale),
+        "case-study" => run_case_study(scale),
+        "all" => {
+            run_long_term(scale);
+            run_short_term(scale);
+            run_imputation(scale);
+            run_anomaly(scale);
+            run_classification(scale);
+            run_ablation(scale);
+            run_case_study(scale);
+        }
+        _ => usage(),
+    }
+}
+
+fn run_long_term(scale: Scale) {
+    for r in long_term::results(scale) {
+        println!(
+            "long-term,{},{},{},{:.4},{:.4}",
+            r.dataset, r.horizon, r.model, r.mse, r.mae
+        );
+    }
+}
+
+fn run_short_term(scale: Scale) {
+    for r in short_term::results(scale) {
+        println!(
+            "short-term,{},{},{:.4},{:.4},{:.4}",
+            r.subset, r.model, r.smape, r.mase, r.owa
+        );
+    }
+}
+
+fn run_imputation(scale: Scale) {
+    for r in imputation::results(scale) {
+        println!(
+            "imputation,{},{},{},{:.4},{:.4}",
+            r.dataset, r.ratio, r.model, r.mse, r.mae
+        );
+    }
+}
+
+fn run_anomaly(scale: Scale) {
+    for r in anomaly::results(scale) {
+        println!(
+            "anomaly,{},{},{:.2},{:.2},{:.2}",
+            r.dataset, r.model, r.precision, r.recall, r.f1
+        );
+    }
+}
+
+fn run_classification(scale: Scale) {
+    for r in classification::results(scale) {
+        println!("classification,{},{},{:.4}", r.dataset, r.model, r.accuracy);
+    }
+}
+
+fn run_ablation(scale: Scale) {
+    for r in ablation::results(scale) {
+        println!(
+            "ablation,{},{:.4},{:.4},{:.4},{:.4},{:.4}",
+            r.variant, r.long_mse, r.owa, r.imp_mse, r.f1, r.acc
+        );
+    }
+}
+
+fn run_case_study(scale: Scale) {
+    for r in case_study::results(scale) {
+        println!(
+            "case-study,{},{:.5},{:.4},{:.4}",
+            r.model, r.residual_energy, r.residual_acf_violation, r.explained_energy
+        );
+    }
+}

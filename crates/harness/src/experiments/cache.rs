@@ -1,0 +1,110 @@
+//! A tiny CSV-backed results cache shared by the experiment families, so
+//! the Table II overview can aggregate per-table results without
+//! recomputing them, and re-running a bench is idempotent.
+
+use std::path::PathBuf;
+
+/// The cache directory: `$MSD_RESULTS_DIR`, or `target/msd-results` under
+/// the workspace root (found by walking up from the current directory —
+/// bench binaries run with the *package* directory as cwd).
+pub fn cache_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("MSD_RESULTS_DIR") {
+        return PathBuf::from(dir);
+    }
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(content) = std::fs::read_to_string(&manifest) {
+            if content.contains("[workspace]") {
+                return dir.join("target/msd-results");
+            }
+        }
+        if !dir.pop() {
+            return PathBuf::from("target/msd-results");
+        }
+    }
+}
+
+/// Removes every cached result (all scales).
+pub fn clear_cache() {
+    let _ = std::fs::remove_dir_all(cache_dir());
+}
+
+/// Loads rows for `family`+`scale` if cached, otherwise computes them with
+/// `compute` and writes the cache. Rows round-trip through a simple CSV
+/// representation provided by the callers.
+pub(crate) fn load_or_compute<R>(
+    family: &str,
+    scale: crate::Scale,
+    to_fields: impl Fn(&R) -> Vec<String>,
+    from_fields: impl Fn(&[String]) -> R,
+    compute: impl FnOnce() -> Vec<R>,
+) -> Vec<R> {
+    let dir = cache_dir();
+    let path = dir.join(format!("{family}-{}.csv", scale.name()));
+    if let Ok(content) = std::fs::read_to_string(&path) {
+        let rows: Vec<R> = content
+            .lines()
+            .filter(|l| !l.is_empty())
+            .map(|l| from_fields(&split_csv(l)))
+            .collect();
+        if !rows.is_empty() {
+            return rows;
+        }
+    }
+    let rows = compute();
+    let _ = std::fs::create_dir_all(&dir);
+    let mut out = String::new();
+    for r in &rows {
+        let fields = to_fields(r);
+        out.push_str(&fields.join(","));
+        out.push('\n');
+    }
+    let _ = std::fs::write(&path, out);
+    rows
+}
+
+/// Splits a simple CSV line (no embedded commas are produced by our
+/// writers).
+fn split_csv(line: &str) -> Vec<String> {
+    line.split(',').map(str::to_string).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq, Clone)]
+    struct Row {
+        a: String,
+        v: f32,
+    }
+
+    #[test]
+    fn cache_round_trips_and_skips_recompute() {
+        std::env::set_var("MSD_RESULTS_DIR", std::env::temp_dir().join("msd_cache_test"));
+        clear_cache();
+        let compute_calls = std::cell::Cell::new(0);
+        let compute = || {
+            compute_calls.set(compute_calls.get() + 1);
+            vec![Row {
+                a: "x".into(),
+                v: 1.5,
+            }]
+        };
+        let to_f = |r: &Row| vec![r.a.clone(), r.v.to_string()];
+        let from_f = |f: &[String]| Row {
+            a: f[0].clone(),
+            v: f[1].parse().unwrap(),
+        };
+        let first = load_or_compute("unit", crate::Scale::Smoke, to_f, from_f, compute);
+        let second = load_or_compute("unit", crate::Scale::Smoke, to_f, from_f, || {
+            compute_calls.set(compute_calls.get() + 1);
+            vec![]
+        });
+        assert_eq!(first, second);
+        assert_eq!(compute_calls.get(), 1, "second call must hit the cache");
+        clear_cache();
+        std::env::remove_var("MSD_RESULTS_DIR");
+    }
+}

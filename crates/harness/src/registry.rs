@@ -1,0 +1,64 @@
+//! The Table I task/benchmark/metric summary, as data.
+
+/// One row of the paper's Table I.
+pub struct TaskSummary {
+    /// Task name.
+    pub task: &'static str,
+    /// Benchmark datasets used (this repo's synthetic stand-ins mirror
+    /// them; see DESIGN.md §2).
+    pub datasets: &'static str,
+    /// Evaluation metrics.
+    pub metrics: &'static str,
+    /// Number of benchmark scores the task contributes to Table II.
+    pub num_benchmarks: usize,
+}
+
+/// The five rows of Table I with their Table II benchmark counts.
+pub fn table_i_rows() -> Vec<TaskSummary> {
+    vec![
+        TaskSummary {
+            task: "Long-Term Forecasting",
+            datasets: "ETT (4 subsets), Electricity, Weather, Traffic, Exchange",
+            metrics: "MSE, MAE",
+            num_benchmarks: 64,
+        },
+        TaskSummary {
+            task: "Short-Term Forecasting",
+            datasets: "M4 (6 subsets)",
+            metrics: "SMAPE, MASE, OWA",
+            num_benchmarks: 15,
+        },
+        TaskSummary {
+            task: "Imputation",
+            datasets: "ETT (4 subsets), Electricity, Weather",
+            metrics: "MSE, MAE",
+            num_benchmarks: 48,
+        },
+        TaskSummary {
+            task: "Anomaly Detection",
+            datasets: "SMD, MSL, SMAP, SWaT, PSM",
+            metrics: "F1-Score",
+            num_benchmarks: 5,
+        },
+        TaskSummary {
+            task: "Classification",
+            datasets: "UEA (10 subsets)",
+            metrics: "Accuracy",
+            num_benchmarks: 10,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_tasks_totalling_142_benchmarks() {
+        let rows = table_i_rows();
+        assert_eq!(rows.len(), 5);
+        let total: usize = rows.iter().map(|r| r.num_benchmarks).sum();
+        // Table II: 64 + 15 + 48 + 5 + 10 = 142.
+        assert_eq!(total, 142);
+    }
+}

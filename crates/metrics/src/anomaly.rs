@@ -1,0 +1,154 @@
+//! Anomaly-detection scoring: point-wise precision/recall/F1 with the
+//! *point-adjust* convention used by the paper's benchmark suite (an event
+//! counts as detected if any point inside it is flagged; the whole event is
+//! then credited).
+
+/// Precision / recall / F1 for one detection run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DetectionScores {
+    /// Fraction of flagged points that are truly anomalous.
+    pub precision: f32,
+    /// Fraction of anomalous points that were flagged.
+    pub recall: f32,
+    /// Harmonic mean of precision and recall.
+    pub f1: f32,
+}
+
+impl DetectionScores {
+    fn from_counts(tp: usize, fp: usize, fn_: usize) -> Self {
+        let precision = if tp + fp == 0 {
+            0.0
+        } else {
+            tp as f32 / (tp + fp) as f32
+        };
+        let recall = if tp + fn_ == 0 {
+            0.0
+        } else {
+            tp as f32 / (tp + fn_) as f32
+        };
+        let f1 = if precision + recall == 0.0 {
+            0.0
+        } else {
+            2.0 * precision * recall / (precision + recall)
+        };
+        Self {
+            precision,
+            recall,
+            f1,
+        }
+    }
+}
+
+/// Applies the point-adjust rule in place: for every contiguous true-anomaly
+/// segment that contains at least one predicted point, all its points are
+/// marked predicted.
+pub fn point_adjust(pred: &mut [bool], truth: &[bool]) {
+    assert_eq!(pred.len(), truth.len(), "point_adjust length mismatch");
+    let n = truth.len();
+    let mut i = 0;
+    while i < n {
+        if truth[i] {
+            let start = i;
+            while i < n && truth[i] {
+                i += 1;
+            }
+            if pred[start..i].iter().any(|&p| p) {
+                for p in &mut pred[start..i] {
+                    *p = true;
+                }
+            }
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// Point-adjusted precision/recall/F1 of `pred` against `truth`.
+pub fn point_adjusted_scores(pred: &[bool], truth: &[bool]) -> DetectionScores {
+    let mut adjusted = pred.to_vec();
+    point_adjust(&mut adjusted, truth);
+    let mut tp = 0;
+    let mut fp = 0;
+    let mut fn_ = 0;
+    for (&p, &t) in adjusted.iter().zip(truth) {
+        match (p, t) {
+            (true, true) => tp += 1,
+            (true, false) => fp += 1,
+            (false, true) => fn_ += 1,
+            (false, false) => {}
+        }
+    }
+    DetectionScores::from_counts(tp, fp, fn_)
+}
+
+/// Chooses the detection threshold as the `(1 − ratio)` quantile of the
+/// anomaly scores — the "anomaly ratio" convention of the benchmark suite
+/// (flag the top `ratio` fraction of points).
+pub fn threshold_by_ratio(scores: &[f32], ratio: f32) -> f32 {
+    assert!(!scores.is_empty(), "threshold of empty scores");
+    assert!((0.0..=1.0).contains(&ratio), "ratio in [0,1]");
+    let mut sorted = scores.to_vec();
+    sorted.sort_by(f32::total_cmp);
+    let idx = ((sorted.len() as f32) * (1.0 - ratio)) as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_detection() {
+        let truth = [false, true, true, false];
+        let pred = [false, true, true, false];
+        let s = point_adjusted_scores(&pred, &truth);
+        assert_eq!(s.precision, 1.0);
+        assert_eq!(s.recall, 1.0);
+        assert_eq!(s.f1, 1.0);
+    }
+
+    #[test]
+    fn point_adjust_credits_whole_event() {
+        let truth = [false, true, true, true, false];
+        // Only one point of the 3-point event is flagged.
+        let pred = [false, false, true, false, false];
+        let s = point_adjusted_scores(&pred, &truth);
+        assert_eq!(s.recall, 1.0, "point-adjust should credit the whole event");
+        assert_eq!(s.precision, 1.0);
+    }
+
+    #[test]
+    fn missed_event_not_credited() {
+        let truth = [true, true, false, true, true];
+        let pred = [true, false, false, false, false];
+        let s = point_adjusted_scores(&pred, &truth);
+        // First event credited (2 TP), second missed (2 FN).
+        assert_eq!(s.recall, 0.5);
+    }
+
+    #[test]
+    fn false_positives_hurt_precision() {
+        let truth = [false, false, false, true];
+        let pred = [true, true, false, true];
+        let s = point_adjusted_scores(&pred, &truth);
+        assert!((s.precision - 1.0 / 3.0).abs() < 1e-6);
+        assert_eq!(s.recall, 1.0);
+    }
+
+    #[test]
+    fn no_predictions_gives_zero_f1() {
+        let truth = [true, false];
+        let pred = [false, false];
+        let s = point_adjusted_scores(&pred, &truth);
+        assert_eq!(s.f1, 0.0);
+    }
+
+    #[test]
+    fn threshold_selects_top_fraction() {
+        let scores: Vec<f32> = (0..100).map(|i| i as f32).collect();
+        let thr = threshold_by_ratio(&scores, 0.1);
+        let flagged = scores.iter().filter(|&&s| s > thr).count();
+        assert!(flagged <= 10, "flagged {flagged}");
+        assert!(flagged >= 8, "flagged {flagged}");
+    }
+}

@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+
+//! # msd-metrics
+//!
+//! Evaluation metrics for the five tasks of the MSD-Mixer paper (Table I):
+//!
+//! * regression errors for forecasting and imputation ([`regression`]);
+//! * the M4 competition metrics SMAPE / MASE / OWA ([`m4`], Eq. 8);
+//! * point-adjusted precision/recall/F1 for anomaly detection
+//!   ([`anomaly`]);
+//! * accuracy and mean rank for classification ([`classification`]);
+//! * per-benchmark win counting for the Table II overview ([`ranking`]).
+
+pub mod anomaly;
+pub mod classification;
+pub mod m4;
+pub mod ranking;
+pub mod regression;
+
+pub use anomaly::{point_adjusted_scores, DetectionScores};
+pub use classification::accuracy;
+pub use m4::{mase, owa, smape, M4Score};
+pub use ranking::{mean_ranks, win_counts};
+pub use regression::{mae, masked_mae, masked_mse, mse, rmse};

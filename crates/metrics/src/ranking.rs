@@ -1,0 +1,98 @@
+//! Cross-model ranking utilities for the Table II overview ("in how many
+//! benchmarks does each scheme perform best") and the Table XI mean rank.
+
+/// For a matrix of scores `[benchmark][model]` where **lower is better**,
+/// counts per model how many benchmarks it wins (ties credit every tied
+/// leader, matching how the paper's bold-count reads).
+pub fn win_counts(scores: &[Vec<f32>]) -> Vec<usize> {
+    assert!(!scores.is_empty(), "win_counts of no benchmarks");
+    let models = scores[0].len();
+    let mut wins = vec![0usize; models];
+    for row in scores {
+        assert_eq!(row.len(), models, "ragged score matrix");
+        let best = row.iter().copied().fold(f32::INFINITY, f32::min);
+        for (m, &s) in row.iter().enumerate() {
+            if (s - best).abs() <= f32::EPSILON * best.abs().max(1.0) {
+                wins[m] += 1;
+            }
+        }
+    }
+    wins
+}
+
+/// Mean rank per model over benchmarks (1 = best). Lower-is-better scores;
+/// ties share the average of the tied ranks.
+pub fn mean_ranks(scores: &[Vec<f32>]) -> Vec<f32> {
+    assert!(!scores.is_empty(), "mean_ranks of no benchmarks");
+    let models = scores[0].len();
+    let mut totals = vec![0.0f32; models];
+    for row in scores {
+        assert_eq!(row.len(), models, "ragged score matrix");
+        let mut order: Vec<usize> = (0..models).collect();
+        order.sort_by(|&a, &b| row[a].total_cmp(&row[b]));
+        let mut i = 0;
+        while i < models {
+            // Group ties.
+            let mut j = i;
+            while j + 1 < models && row[order[j + 1]] == row[order[i]] {
+                j += 1;
+            }
+            let avg_rank = ((i + 1 + j + 1) as f32) / 2.0;
+            for &m in &order[i..=j] {
+                totals[m] += avg_rank;
+            }
+            i = j + 1;
+        }
+    }
+    totals.iter().map(|t| t / scores.len() as f32).collect()
+}
+
+/// Negates scores so that higher-is-better metrics (accuracy, F1) can feed
+/// the lower-is-better ranking helpers.
+pub fn negate(scores: &[Vec<f32>]) -> Vec<Vec<f32>> {
+    scores
+        .iter()
+        .map(|row| row.iter().map(|&s| -s).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn win_counts_basic() {
+        let scores = vec![
+            vec![1.0, 2.0, 3.0],
+            vec![2.0, 1.0, 3.0],
+            vec![1.0, 2.0, 3.0],
+        ];
+        assert_eq!(win_counts(&scores), vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn win_counts_ties_credit_all() {
+        let scores = vec![vec![1.0, 1.0, 2.0]];
+        assert_eq!(win_counts(&scores), vec![1, 1, 0]);
+    }
+
+    #[test]
+    fn mean_ranks_basic() {
+        let scores = vec![vec![1.0, 2.0, 3.0], vec![3.0, 1.0, 2.0]];
+        let ranks = mean_ranks(&scores);
+        assert_eq!(ranks, vec![2.0, 1.5, 2.5]);
+    }
+
+    #[test]
+    fn mean_ranks_tie_shares_average() {
+        let scores = vec![vec![1.0, 1.0, 5.0]];
+        let ranks = mean_ranks(&scores);
+        assert_eq!(ranks, vec![1.5, 1.5, 3.0]);
+    }
+
+    #[test]
+    fn negate_flips_order() {
+        let acc = vec![vec![0.9, 0.7]];
+        assert_eq!(win_counts(&negate(&acc)), vec![1, 0]);
+    }
+}

@@ -1,0 +1,130 @@
+//! Regression error metrics (long-term forecasting and imputation).
+
+/// Mean squared error between equal-length slices.
+///
+/// # Panics
+/// Panics if lengths differ or are zero.
+pub fn mse(pred: &[f32], truth: &[f32]) -> f32 {
+    assert_eq!(pred.len(), truth.len(), "mse length mismatch");
+    assert!(!pred.is_empty(), "mse of empty slices");
+    let sum: f64 = pred
+        .iter()
+        .zip(truth)
+        .map(|(&p, &t)| {
+            let d = (p - t) as f64;
+            d * d
+        })
+        .sum();
+    (sum / pred.len() as f64) as f32
+}
+
+/// Mean absolute error between equal-length slices.
+pub fn mae(pred: &[f32], truth: &[f32]) -> f32 {
+    assert_eq!(pred.len(), truth.len(), "mae length mismatch");
+    assert!(!pred.is_empty(), "mae of empty slices");
+    let sum: f64 = pred
+        .iter()
+        .zip(truth)
+        .map(|(&p, &t)| ((p - t) as f64).abs())
+        .sum();
+    (sum / pred.len() as f64) as f32
+}
+
+/// Root mean squared error.
+pub fn rmse(pred: &[f32], truth: &[f32]) -> f32 {
+    mse(pred, truth).sqrt()
+}
+
+/// MSE restricted to positions where `mask` is nonzero — the imputation
+/// metric (error on missing positions only). Returns 0 if the mask selects
+/// nothing.
+pub fn masked_mse(pred: &[f32], truth: &[f32], mask: &[f32]) -> f32 {
+    assert_eq!(pred.len(), truth.len(), "masked_mse length mismatch");
+    assert_eq!(pred.len(), mask.len(), "masked_mse mask length mismatch");
+    let mut sum = 0.0f64;
+    let mut count = 0usize;
+    for ((&p, &t), &m) in pred.iter().zip(truth).zip(mask) {
+        if m != 0.0 {
+            let d = (p - t) as f64;
+            sum += d * d;
+            count += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        (sum / count as f64) as f32
+    }
+}
+
+/// MAE restricted to positions where `mask` is nonzero.
+pub fn masked_mae(pred: &[f32], truth: &[f32], mask: &[f32]) -> f32 {
+    assert_eq!(pred.len(), truth.len(), "masked_mae length mismatch");
+    assert_eq!(pred.len(), mask.len(), "masked_mae mask length mismatch");
+    let mut sum = 0.0f64;
+    let mut count = 0usize;
+    for ((&p, &t), &m) in pred.iter().zip(truth).zip(mask) {
+        if m != 0.0 {
+            sum += ((p - t) as f64).abs();
+            count += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        (sum / count as f64) as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction_is_zero_error() {
+        let x = [1.0, 2.0, 3.0];
+        assert_eq!(mse(&x, &x), 0.0);
+        assert_eq!(mae(&x, &x), 0.0);
+        assert_eq!(rmse(&x, &x), 0.0);
+    }
+
+    #[test]
+    fn known_values() {
+        let pred = [0.0, 0.0];
+        let truth = [3.0, 4.0];
+        assert_eq!(mse(&pred, &truth), 12.5);
+        assert_eq!(mae(&pred, &truth), 3.5);
+        assert_eq!(rmse(&pred, &truth), 12.5f32.sqrt());
+    }
+
+    #[test]
+    fn mse_dominated_by_large_errors_vs_mae() {
+        let pred = [0.0, 0.0, 0.0, 0.0];
+        let truth = [4.0, 0.0, 0.0, 0.0];
+        assert_eq!(mse(&pred, &truth), 4.0);
+        assert_eq!(mae(&pred, &truth), 1.0);
+    }
+
+    #[test]
+    fn masked_variants_ignore_unmasked() {
+        let pred = [10.0, 1.0, 10.0];
+        let truth = [0.0, 0.0, 0.0];
+        let mask = [0.0, 1.0, 0.0];
+        assert_eq!(masked_mse(&pred, &truth, &mask), 1.0);
+        assert_eq!(masked_mae(&pred, &truth, &mask), 1.0);
+    }
+
+    #[test]
+    fn empty_mask_yields_zero() {
+        let pred = [1.0];
+        let truth = [2.0];
+        assert_eq!(masked_mse(&pred, &truth, &[0.0]), 0.0);
+        assert_eq!(masked_mae(&pred, &truth, &[0.0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn rejects_length_mismatch() {
+        let _ = mse(&[1.0], &[1.0, 2.0]);
+    }
+}

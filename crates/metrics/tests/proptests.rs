@@ -1,0 +1,132 @@
+//! Property-based tests for the metric definitions: bounds, symmetries,
+//! and scale behaviours that must hold for arbitrary inputs.
+
+use msd_metrics::anomaly::{point_adjusted_scores, threshold_by_ratio};
+use msd_metrics::{accuracy, mae, mase, mean_ranks, mse, owa, smape, win_counts};
+use proptest::prelude::*;
+
+fn series(n: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-100.0f32..100.0, n..=n)
+}
+
+proptest! {
+    #[test]
+    fn mse_mae_nonnegative_and_zero_on_self(s in series(16)) {
+        prop_assert_eq!(mse(&s, &s), 0.0);
+        prop_assert_eq!(mae(&s, &s), 0.0);
+        let shifted: Vec<f32> = s.iter().map(|v| v + 1.0).collect();
+        prop_assert!(mse(&s, &shifted) > 0.0);
+        prop_assert!((mae(&s, &shifted) - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn mse_dominates_mae_squared(a in series(16), b in series(16)) {
+        // Jensen: E[d²] ≥ (E|d|)².
+        let m2 = mse(&a, &b);
+        let m1 = mae(&a, &b);
+        prop_assert!(m2 + 1e-3 >= m1 * m1);
+    }
+
+    #[test]
+    fn mse_is_symmetric(a in series(12), b in series(12)) {
+        prop_assert!((mse(&a, &b) - mse(&b, &a)).abs() < 1e-4);
+        prop_assert!((mae(&a, &b) - mae(&b, &a)).abs() < 1e-4);
+    }
+
+    #[test]
+    fn smape_bounded_and_symmetric(a in series(10), b in series(10)) {
+        let s = smape(&a, &b);
+        prop_assert!((0.0..=200.0 + 1e-3).contains(&s));
+        prop_assert!((s - smape(&b, &a)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn smape_scale_invariant(a in series(10), k in 0.5f32..4.0) {
+        // SMAPE is invariant to multiplying both series by a positive k.
+        let b: Vec<f32> = a.iter().map(|v| v * 0.7 + 1.0).collect();
+        let ka: Vec<f32> = a.iter().map(|v| v * k).collect();
+        let kb: Vec<f32> = b.iter().map(|v| v * k).collect();
+        prop_assert!((smape(&a, &b) - smape(&ka, &kb)).abs() < 1e-2);
+    }
+
+    #[test]
+    fn mase_scales_inversely_with_insample_roughness(seed in 0u64..300) {
+        // Doubling the in-sample variation halves MASE for a fixed error.
+        let mut rng = msd_tensor::rng::Rng::seed_from(seed);
+        let insample: Vec<f32> = (0..50).map(|_| rng.normal()).collect();
+        let insample2: Vec<f32> = insample.iter().map(|v| v * 2.0).collect();
+        let truth = vec![0.0f32; 8];
+        let pred = vec![1.0f32; 8];
+        let m1 = mase(&pred, &truth, &insample, 1);
+        let m2 = mase(&pred, &truth, &insample2, 1);
+        prop_assert!((m1 / m2 - 2.0).abs() < 0.05, "{m1} vs {m2}");
+    }
+
+    #[test]
+    fn owa_is_one_for_the_reference(s in 1.0f32..50.0, m in 0.1f32..5.0) {
+        prop_assert!((owa(s, m, s, m) - 1.0).abs() < 1e-6);
+        // Halving both components halves OWA.
+        prop_assert!((owa(s / 2.0, m / 2.0, s, m) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn accuracy_bounds(preds in prop::collection::vec(0usize..5, 1..40)) {
+        let truth: Vec<usize> = preds.iter().map(|&p| (p + 1) % 5).collect();
+        prop_assert_eq!(accuracy(&preds, &preds), 1.0);
+        prop_assert_eq!(accuracy(&preds, &truth), 0.0);
+    }
+
+    #[test]
+    fn win_counts_total_at_least_benchmarks(rows in 1usize..10, models in 2usize..6, seed in 0u64..500) {
+        let mut rng = msd_tensor::rng::Rng::seed_from(seed);
+        let scores: Vec<Vec<f32>> = (0..rows)
+            .map(|_| (0..models).map(|_| rng.uniform()).collect())
+            .collect();
+        let wins = win_counts(&scores);
+        prop_assert_eq!(wins.len(), models);
+        let total: usize = wins.iter().sum();
+        prop_assert!(total >= rows, "ties only add");
+    }
+
+    #[test]
+    fn mean_ranks_average_to_midpoint(rows in 1usize..10, models in 2usize..6, seed in 0u64..500) {
+        let mut rng = msd_tensor::rng::Rng::seed_from(seed);
+        let scores: Vec<Vec<f32>> = (0..rows)
+            .map(|_| (0..models).map(|_| rng.uniform()).collect())
+            .collect();
+        let ranks = mean_ranks(&scores);
+        // Sum of ranks per benchmark is fixed: models(models+1)/2.
+        let avg: f32 = ranks.iter().sum::<f32>();
+        let expect = models as f32 * (models as f32 + 1.0) / 2.0;
+        prop_assert!((avg - expect).abs() < 1e-3, "{avg} vs {expect}");
+        for r in ranks {
+            prop_assert!((1.0..=models as f32).contains(&r));
+        }
+    }
+
+    #[test]
+    fn point_adjust_never_reduces_scores(n in 4usize..64, seed in 0u64..500) {
+        let mut rng = msd_tensor::rng::Rng::seed_from(seed);
+        let truth: Vec<bool> = (0..n).map(|_| rng.uniform() < 0.2).collect();
+        let pred: Vec<bool> = (0..n).map(|_| rng.uniform() < 0.2).collect();
+        let adjusted = point_adjusted_scores(&pred, &truth);
+        // Raw (non-adjusted) F1 computed directly:
+        let tp = pred.iter().zip(&truth).filter(|(&p, &t)| p && t).count() as f32;
+        let fp = pred.iter().zip(&truth).filter(|(&p, &t)| p && !t).count() as f32;
+        let fn_ = pred.iter().zip(&truth).filter(|(&p, &t)| !p && t).count() as f32;
+        let raw_recall = if tp + fn_ == 0.0 { 0.0 } else { tp / (tp + fn_) };
+        prop_assert!(adjusted.recall + 1e-6 >= raw_recall);
+        let _ = fp;
+        prop_assert!((0.0..=1.0).contains(&adjusted.f1));
+    }
+
+    #[test]
+    fn threshold_flags_at_most_ratio(n in 10usize..200, ratio in 0.01f32..0.5, seed in 0u64..500) {
+        let mut rng = msd_tensor::rng::Rng::seed_from(seed);
+        // Distinct scores to avoid tie inflation.
+        let scores: Vec<f32> = (0..n).map(|i| i as f32 + 0.5 * rng.uniform()).collect();
+        let thr = threshold_by_ratio(&scores, ratio);
+        let flagged = scores.iter().filter(|&&s| s > thr).count();
+        prop_assert!(flagged as f32 <= ratio * n as f32 + 1.0);
+    }
+}

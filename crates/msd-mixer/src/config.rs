@@ -1,0 +1,118 @@
+//! Model configuration.
+
+pub use msd_nn::Task;
+
+/// Hyperparameters of an [`crate::MsdMixer`].
+#[derive(Clone, Debug)]
+pub struct MsdMixerConfig {
+    /// Number of input channels `C`.
+    pub in_channels: usize,
+    /// Input length `L` (look-back window).
+    pub input_len: usize,
+    /// Per-layer patch sizes `p_1..p_k`. The paper arranges them in
+    /// descending order (Sec. IV-A); `variants::inverted` flips them.
+    pub patch_sizes: Vec<usize>,
+    /// Width `d` of each patch representation `E_i ∈ R^{C×L'×d}`.
+    pub d_model: usize,
+    /// Hidden-width multiplier inside each MLP block (hidden = ratio × dim).
+    pub hidden_ratio: usize,
+    /// DropPath rate of the MLP blocks (Fig. 3a).
+    pub drop_path: f32,
+    /// White-noise tolerance multiplier `α` of the Residual Loss (Eq. 6).
+    pub alpha: f32,
+    /// Residual Loss weight `λ` (Eq. 7). Zero recovers MSD-Mixer-L.
+    pub lambda: f32,
+    /// Skip the autocorrelation term of the Residual Loss, keeping only the
+    /// magnitude term — required for imputation, where missing values make
+    /// the residual ACF ill-defined (Sec. IV-D).
+    pub magnitude_only: bool,
+    /// The analysis task.
+    pub task: Task,
+}
+
+impl Default for MsdMixerConfig {
+    fn default() -> Self {
+        Self {
+            in_channels: 1,
+            input_len: 96,
+            patch_sizes: vec![24, 12, 4, 2, 1],
+            d_model: 32,
+            hidden_ratio: 2,
+            drop_path: 0.1,
+            alpha: 2.0,
+            lambda: 1.0,
+            magnitude_only: false,
+            task: Task::Forecast { horizon: 96 },
+        }
+    }
+}
+
+impl MsdMixerConfig {
+    /// Number of decomposition layers `k`.
+    pub fn num_layers(&self) -> usize {
+        self.patch_sizes.len()
+    }
+
+    /// Validates internal consistency, panicking with a clear message on
+    /// misconfiguration. Called by the model constructor.
+    pub fn validate(&self) {
+        assert!(self.in_channels > 0, "in_channels must be positive");
+        assert!(self.input_len >= 2, "input_len must be at least 2");
+        assert!(!self.patch_sizes.is_empty(), "need at least one layer");
+        assert!(self.d_model > 0, "d_model must be positive");
+        assert!(self.hidden_ratio > 0, "hidden_ratio must be positive");
+        for &p in &self.patch_sizes {
+            assert!(p >= 1, "patch sizes must be >= 1");
+            assert!(
+                p <= self.input_len,
+                "patch size {p} exceeds input length {}",
+                self.input_len
+            );
+        }
+        assert!((0.0..1.0).contains(&self.drop_path), "drop_path in [0,1)");
+        assert!(self.lambda >= 0.0, "lambda must be non-negative");
+        if let Task::Classify { classes } = self.task {
+            assert!(classes >= 2, "need at least two classes");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        MsdMixerConfig::default().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "patch size")]
+    fn oversized_patch_rejected() {
+        let cfg = MsdMixerConfig {
+            input_len: 8,
+            patch_sizes: vec![16],
+            ..MsdMixerConfig::default()
+        };
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "two classes")]
+    fn single_class_rejected() {
+        let cfg = MsdMixerConfig {
+            task: Task::Classify { classes: 1 },
+            ..MsdMixerConfig::default()
+        };
+        cfg.validate();
+    }
+
+    #[test]
+    fn num_layers_tracks_patch_sizes() {
+        let cfg = MsdMixerConfig {
+            patch_sizes: vec![8, 4, 2],
+            ..MsdMixerConfig::default()
+        };
+        assert_eq!(cfg.num_layers(), 3);
+    }
+}

@@ -1,0 +1,299 @@
+//! The full MSD-Mixer model (Sec. III-B, Alg. 1).
+
+use crate::config::{MsdMixerConfig, Task};
+use crate::heads::{Head, Target};
+use crate::layer::{MsdLayer, PatchMode};
+use crate::residual_loss::residual_loss;
+use msd_autograd::{Graph, Var};
+use msd_nn::{Ctx, ParamStore};
+use msd_tensor::rng::Rng;
+use msd_tensor::Tensor;
+
+/// Everything one forward pass produces: the task prediction, each layer's
+/// component `S_i` and representation `E_i`, and the final residual `Z_k`.
+pub struct ModelOutput {
+    /// Task prediction (`[B,C,H]`, `[B,C,L]`, or `[B,classes]`).
+    pub pred: Var,
+    /// Per-layer decomposed components `S_i`, each `[B, C, L]`.
+    pub components: Vec<Var>,
+    /// Final residual `Z_k = X − Σ S_i`, `[B, C, L]`.
+    pub residual: Var,
+}
+
+/// MSD-Mixer: a stack of decomposition layers with per-layer task heads.
+pub struct MsdMixer {
+    cfg: MsdMixerConfig,
+    layers: Vec<MsdLayer>,
+    heads: Vec<Head>,
+}
+
+impl MsdMixer {
+    /// Builds the model with the paper's patching layers.
+    pub fn new(store: &mut ParamStore, rng: &mut Rng, cfg: &MsdMixerConfig) -> Self {
+        Self::with_modes(
+            store,
+            rng,
+            cfg,
+            &cfg.patch_sizes
+                .iter()
+                .map(|&p| PatchMode::Patch(p))
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// Builds the model with explicit per-layer patch modes (used by the
+    /// ablation variants in [`crate::variants`]).
+    pub fn with_modes(
+        store: &mut ParamStore,
+        rng: &mut Rng,
+        cfg: &MsdMixerConfig,
+        modes: &[PatchMode],
+    ) -> Self {
+        cfg.validate();
+        assert_eq!(modes.len(), cfg.patch_sizes.len(), "one mode per layer");
+        let mut layers = Vec::with_capacity(modes.len());
+        let mut heads = Vec::with_capacity(modes.len());
+        for (i, &mode) in modes.iter().enumerate() {
+            let layer = MsdLayer::new(
+                store,
+                rng,
+                &format!("layer{i}"),
+                cfg.in_channels,
+                cfg.input_len,
+                mode,
+                cfg.d_model,
+                cfg.hidden_ratio,
+                cfg.drop_path,
+            );
+            heads.push(Head::new(
+                store,
+                &format!("head{i}"),
+                &cfg.task,
+                cfg.in_channels,
+                cfg.input_len,
+                layer.num_patches(),
+                cfg.d_model,
+            ));
+            layers.push(layer);
+        }
+        Self {
+            cfg: cfg.clone(),
+            layers,
+            heads,
+        }
+    }
+
+    /// The model's configuration.
+    pub fn config(&self) -> &MsdMixerConfig {
+        &self.cfg
+    }
+
+    /// Number of decomposition layers `k`.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Runs the hierarchical decomposition (Alg. 1 lines 4–11) on a batch
+    /// `x` of shape `[B, C, L]`.
+    pub fn forward(&self, ctx: &Ctx, x: &Tensor) -> ModelOutput {
+        let g = ctx.g;
+        assert_eq!(x.ndim(), 3, "expected [B, C, L], got {:?}", x.shape());
+        assert_eq!(x.shape()[1], self.cfg.in_channels, "channel mismatch");
+        assert_eq!(x.shape()[2], self.cfg.input_len, "length mismatch");
+        let mut z = g.input(x.clone());
+        let mut components = Vec::with_capacity(self.layers.len());
+        let mut pred: Option<Var> = None;
+        for (layer, head) in self.layers.iter().zip(&self.heads) {
+            let (e, s) = layer.forward(ctx, z);
+            z = g.sub(z, s);
+            components.push(s);
+            let y = head.forward(ctx, e);
+            pred = Some(match pred {
+                Some(acc) => g.add(acc, y),
+                None => y,
+            });
+        }
+        ModelOutput {
+            pred: pred.expect("at least one layer"),
+            components,
+            residual: z,
+        }
+    }
+
+    /// Builds the total training loss `L = L_t + λ·L_r` (Eq. 7) for a
+    /// forward pass and its target.
+    ///
+    /// # Panics
+    /// Panics if the target kind does not match the configured task.
+    pub fn loss(&self, g: &Graph, out: &ModelOutput, target: &Target) -> Var {
+        let task_loss = match (&self.cfg.task, target) {
+            (Task::Forecast { .. }, Target::Series(y)) => g.mse_loss(out.pred, y),
+            (Task::Reconstruct, Target::Series(y)) => g.mse_loss(out.pred, y),
+            (Task::Reconstruct, Target::MaskedSeries { series, observed_mask }) => {
+                // Imputation: loss on the *missing* positions.
+                let missing = observed_mask.map(|m| 1.0 - m);
+                g.masked_mse_loss(out.pred, series, &missing)
+            }
+            (Task::Classify { .. }, Target::Labels(labels)) => {
+                g.softmax_cross_entropy(out.pred, labels)
+            }
+            (task, target) => panic!("target {target:?} does not match task {task:?}"),
+        };
+        if self.cfg.lambda == 0.0 {
+            return task_loss;
+        }
+        let lr = residual_loss(g, out.residual, self.cfg.alpha, self.cfg.magnitude_only);
+        g.add(task_loss, g.scale(lr, self.cfg.lambda))
+    }
+
+    /// Convenience inference: runs an eval-mode forward pass and returns the
+    /// prediction tensor.
+    pub fn predict(&self, store: &ParamStore, x: &Tensor) -> Tensor {
+        let g = Graph::eval();
+        let mut rng = Rng::seed_from(0);
+        let ctx = Ctx::new(&g, store, &mut rng);
+        let out = self.forward(&ctx, x);
+        g.value(out.pred)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msd_tensor::allclose;
+
+    fn small_cfg(task: Task) -> MsdMixerConfig {
+        MsdMixerConfig {
+            in_channels: 2,
+            input_len: 12,
+            patch_sizes: vec![4, 2, 1],
+            d_model: 4,
+            hidden_ratio: 2,
+            drop_path: 0.0,
+            alpha: 2.0,
+            lambda: 0.5,
+            magnitude_only: false,
+            task,
+        }
+    }
+
+    fn build(task: Task) -> (ParamStore, MsdMixer) {
+        let mut store = ParamStore::new();
+        let mut rng = Rng::seed_from(40);
+        let model = MsdMixer::new(&mut store, &mut rng, &small_cfg(task));
+        (store, model)
+    }
+
+    #[test]
+    fn forecast_output_shape() {
+        let (store, model) = build(Task::Forecast { horizon: 6 });
+        let mut rng = Rng::seed_from(41);
+        let x = Tensor::randn(&[3, 2, 12], 1.0, &mut rng);
+        assert_eq!(model.predict(&store, &x).shape(), &[3, 2, 6]);
+    }
+
+    #[test]
+    fn reconstruct_output_shape() {
+        let (store, model) = build(Task::Reconstruct);
+        let mut rng = Rng::seed_from(42);
+        let x = Tensor::randn(&[2, 2, 12], 1.0, &mut rng);
+        assert_eq!(model.predict(&store, &x).shape(), &[2, 2, 12]);
+    }
+
+    #[test]
+    fn classify_output_shape() {
+        let (store, model) = build(Task::Classify { classes: 4 });
+        let mut rng = Rng::seed_from(43);
+        let x = Tensor::randn(&[5, 2, 12], 1.0, &mut rng);
+        assert_eq!(model.predict(&store, &x).shape(), &[5, 4]);
+    }
+
+    #[test]
+    fn decomposition_identity_holds() {
+        // X = Σ S_i + Z_k must hold *exactly* by construction (Eq. 1/3).
+        let (store, model) = build(Task::Forecast { horizon: 6 });
+        let mut rng = Rng::seed_from(44);
+        let x = Tensor::randn(&[2, 2, 12], 1.0, &mut rng);
+        let g = Graph::eval();
+        let mut rng2 = Rng::seed_from(45);
+        let ctx = Ctx::new(&g, &store, &mut rng2);
+        let out = model.forward(&ctx, &x);
+        let mut sum = g.value(out.residual);
+        for &s in &out.components {
+            sum.add_assign(&g.value(s));
+        }
+        assert!(allclose(&sum, &x, 1e-4), "Σ S_i + Z_k != X");
+    }
+
+    #[test]
+    fn training_step_produces_gradients_for_all_params() {
+        let (store, model) = build(Task::Forecast { horizon: 6 });
+        let mut rng = Rng::seed_from(46);
+        let x = Tensor::randn(&[2, 2, 12], 1.0, &mut rng);
+        let y = Tensor::randn(&[2, 2, 6], 1.0, &mut rng);
+        let g = Graph::new();
+        let mut rng2 = Rng::seed_from(47);
+        let ctx = Ctx::new(&g, &store, &mut rng2);
+        let out = model.forward(&ctx, &x);
+        let loss = model.loss(&g, &out, &Target::Series(y));
+        assert!(g.value(loss).item().is_finite());
+        let grads = g.backward(loss);
+        assert_eq!(grads.len(), store.len());
+    }
+
+    #[test]
+    fn loss_panics_on_mismatched_target() {
+        let (store, model) = build(Task::Forecast { horizon: 6 });
+        let mut rng = Rng::seed_from(48);
+        let x = Tensor::randn(&[1, 2, 12], 1.0, &mut rng);
+        let g = Graph::new();
+        let mut rng2 = Rng::seed_from(49);
+        let ctx = Ctx::new(&g, &store, &mut rng2);
+        let out = model.forward(&ctx, &x);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            model.loss(&g, &out, &Target::Labels(vec![0]))
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn few_steps_of_training_reduce_forecast_loss() {
+        use msd_nn::{Adam, Optimizer};
+        let (mut store, model) = build(Task::Forecast { horizon: 6 });
+        let mut rng = Rng::seed_from(50);
+        // Learnable structure: forecast continues a sine.
+        let mk = |phase: f32| {
+            let xs: Vec<f32> = (0..2 * 12)
+                .map(|i| ((i % 12) as f32 / 4.0 + phase).sin())
+                .collect();
+            let ys: Vec<f32> = (0..2 * 6)
+                .map(|i| (((i % 6) + 12) as f32 / 4.0 + phase).sin())
+                .collect();
+            (
+                Tensor::from_vec(&[1, 2, 12], xs),
+                Tensor::from_vec(&[1, 2, 6], ys),
+            )
+        };
+        let mut opt = Adam::with_lr(5e-3);
+        let mut first = None;
+        let mut last = 0.0;
+        for step in 0..60 {
+            let (x, y) = mk((step % 4) as f32);
+            let g = Graph::new();
+            let ctx = Ctx::new(&g, &store, &mut rng);
+            let out = model.forward(&ctx, &x);
+            let loss = model.loss(&g, &out, &Target::Series(y));
+            last = g.value(loss).item();
+            if first.is_none() {
+                first = Some(last);
+            }
+            let grads = g.backward(loss);
+            opt.step(&mut store, &grads);
+        }
+        assert!(
+            last < first.unwrap() * 0.8,
+            "loss did not decrease: {} -> {last}",
+            first.unwrap()
+        );
+    }
+}

@@ -1,0 +1,218 @@
+//! Property-based tests for MSD-Mixer's structural invariants across
+//! random configurations.
+
+use msd_autograd::Graph;
+use msd_mixer::variants::{build_variant, Variant};
+use msd_mixer::{padded_len, patch, unpatch, MsdMixer, MsdMixerConfig, Task};
+use msd_nn::{Ctx, ParamStore};
+use msd_tensor::{allclose, rng::Rng, Tensor};
+use proptest::prelude::*;
+
+/// A strategy over small but varied model configurations.
+fn small_config() -> impl Strategy<Value = MsdMixerConfig> {
+    (
+        1usize..4,        // channels
+        8usize..33,       // input length
+        1usize..4,        // layers
+        2usize..6,        // d_model
+        0u64..1000,       // seed marker (unused here, varies data)
+    )
+        .prop_map(|(c, l, k, d, _)| {
+            // Patch sizes descending, within bounds.
+            let mut sizes = Vec::new();
+            let mut p = (l / 2).max(1);
+            for _ in 0..k {
+                sizes.push(p.max(1));
+                p = (p / 2).max(1);
+            }
+            MsdMixerConfig {
+                in_channels: c,
+                input_len: l,
+                patch_sizes: sizes,
+                d_model: d,
+                hidden_ratio: 1,
+                drop_path: 0.0,
+                alpha: 2.0,
+                lambda: 0.5,
+                magnitude_only: false,
+                task: Task::Forecast { horizon: 4 },
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn decomposition_identity_for_any_config(cfg in small_config(), seed in 0u64..1000) {
+        let mut store = ParamStore::new();
+        let mut rng = Rng::seed_from(seed);
+        let model = MsdMixer::new(&mut store, &mut rng, &cfg);
+        let x = Tensor::randn(&[2, cfg.in_channels, cfg.input_len], 1.0, &mut rng);
+        let g = Graph::eval();
+        let mut rng2 = Rng::seed_from(seed + 1);
+        let ctx = Ctx::new(&g, &store, &mut rng2);
+        let out = model.forward(&ctx, &x);
+        // Σ S_i + Z_k == X for every configuration, by construction (Eq. 3).
+        let mut sum = g.value(out.residual);
+        for &s in &out.components {
+            sum.add_assign(&g.value(s));
+        }
+        prop_assert!(allclose(&sum, &x, 1e-3));
+    }
+
+    #[test]
+    fn forward_is_deterministic_in_eval_mode(cfg in small_config(), seed in 0u64..1000) {
+        let mut store = ParamStore::new();
+        let mut rng = Rng::seed_from(seed);
+        let model = MsdMixer::new(&mut store, &mut rng, &cfg);
+        let x = Tensor::randn(&[1, cfg.in_channels, cfg.input_len], 1.0, &mut rng);
+        let a = model.predict(&store, &x);
+        let b = model.predict(&store, &x);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn loss_is_finite_for_any_config(cfg in small_config(), seed in 0u64..1000) {
+        let mut store = ParamStore::new();
+        let mut rng = Rng::seed_from(seed);
+        let model = MsdMixer::new(&mut store, &mut rng, &cfg);
+        let x = Tensor::randn(&[2, cfg.in_channels, cfg.input_len], 1.0, &mut rng);
+        let y = Tensor::randn(&[2, cfg.in_channels, 4], 1.0, &mut rng);
+        let g = Graph::new();
+        let mut rng2 = Rng::seed_from(seed + 2);
+        let ctx = Ctx::new(&g, &store, &mut rng2);
+        let out = model.forward(&ctx, &x);
+        let loss = model.loss(&g, &out, &msd_mixer::Target::Series(y));
+        prop_assert!(g.value(loss).item().is_finite());
+        // And gradients exist for every parameter.
+        let grads = g.backward(loss);
+        prop_assert_eq!(grads.len(), store.len());
+    }
+
+    #[test]
+    fn patch_unpatch_roundtrip_any_sizes(
+        c in 1usize..4,
+        l in 2usize..40,
+        p in 1usize..12,
+        seed in 0u64..1000,
+    ) {
+        let p = p.min(l);
+        let mut rng = Rng::seed_from(seed);
+        let x0 = Tensor::randn(&[1, c, l], 1.0, &mut rng);
+        let g = Graph::eval();
+        let x = g.input(x0.clone());
+        let patched = patch(&g, x, p);
+        // Shape invariant.
+        let shape = g.shape_of(patched);
+        prop_assert_eq!(shape[2] * shape[3], padded_len(l, p));
+        let back = unpatch(&g, patched, l);
+        prop_assert_eq!(g.value(back), x0);
+    }
+
+    #[test]
+    fn every_variant_keeps_the_identity(seed in 0u64..300) {
+        let cfg = MsdMixerConfig {
+            in_channels: 2,
+            input_len: 16,
+            patch_sizes: vec![8, 2, 1],
+            d_model: 4,
+            hidden_ratio: 1,
+            drop_path: 0.0,
+            task: Task::Forecast { horizon: 4 },
+            ..MsdMixerConfig::default()
+        };
+        for v in Variant::ALL {
+            let mut store = ParamStore::new();
+            let mut rng = Rng::seed_from(seed);
+            let model = build_variant(&mut store, &mut rng, &cfg, v);
+            let x = Tensor::randn(&[1, 2, 16], 1.0, &mut rng);
+            let g = Graph::eval();
+            let mut rng2 = Rng::seed_from(seed + 3);
+            let ctx = Ctx::new(&g, &store, &mut rng2);
+            let out = model.forward(&ctx, &x);
+            let mut sum = g.value(out.residual);
+            for &s in &out.components {
+                sum.add_assign(&g.value(s));
+            }
+            prop_assert!(allclose(&sum, &x, 1e-3), "variant {:?}", v);
+        }
+    }
+}
+
+/// Finite-difference gradient check of the *entire* composed model loss —
+/// forward through patching, encoder/decoder stacks, heads, residual loss —
+/// with respect to the first-layer encoder projection weight.
+#[test]
+fn full_model_gradient_matches_finite_difference() {
+    use msd_autograd::Graph;
+    let cfg = MsdMixerConfig {
+        in_channels: 2,
+        input_len: 8,
+        patch_sizes: vec![4, 1],
+        d_model: 3,
+        hidden_ratio: 1,
+        drop_path: 0.0,
+        alpha: 2.0,
+        lambda: 0.5,
+        magnitude_only: false,
+        task: Task::Forecast { horizon: 4 },
+    };
+    let mut store = ParamStore::new();
+    let mut rng = Rng::seed_from(90);
+    let model = MsdMixer::new(&mut store, &mut rng, &cfg);
+    let x = Tensor::randn(&[2, 2, 8], 1.0, &mut rng);
+    let y = Tensor::randn(&[2, 2, 4], 1.0, &mut rng);
+
+    let loss_value = |store: &ParamStore| -> f32 {
+        let g = Graph::eval();
+        let mut r = Rng::seed_from(0);
+        let ctx = Ctx::new(&g, store, &mut r);
+        let out = model.forward(&ctx, &x);
+        let loss = model.loss(&g, &out, &msd_mixer::Target::Series(y.clone()));
+        g.value(loss).item()
+    };
+
+    // Analytic gradients.
+    let g = Graph::eval();
+    let mut r = Rng::seed_from(0);
+    let ctx = Ctx::new(&g, &store, &mut r);
+    let out = model.forward(&ctx, &x);
+    let loss = model.loss(&g, &out, &msd_mixer::Target::Series(y.clone()));
+    let grads = g.backward(loss);
+
+    // Check a handful of parameters of different kinds by name.
+    let mut checked = 0;
+    for pid in 0..store.len() {
+        let name = store.name(pid).to_string();
+        let interesting = name.contains("layer0.enc.proj.w")
+            || name.contains("layer1.dec.proj.w")
+            || name.contains("head0.w")
+            || name.contains("layer0.enc.channel.fc1.w");
+        if !interesting {
+            continue;
+        }
+        let analytic = grads.get(pid).expect("gradient").clone();
+        let eps = 1e-2;
+        for idx in [0usize, analytic.len() / 2] {
+            let mut plus = store.snapshot();
+            plus[pid].data_mut()[idx] += eps;
+            let mut minus = store.snapshot();
+            minus[pid].data_mut()[idx] -= eps;
+            let mut s_plus = ParamStore::new();
+            let mut s_minus = ParamStore::new();
+            for (i, (p, m)) in plus.iter().zip(&minus).enumerate() {
+                s_plus.register(store.name(i).to_string(), p.clone());
+                s_minus.register(store.name(i).to_string(), m.clone());
+            }
+            let fd = (loss_value(&s_plus) - loss_value(&s_minus)) / (2.0 * eps);
+            let an = analytic.data()[idx];
+            assert!(
+                (fd - an).abs() < 3e-2 * (1.0 + fd.abs()),
+                "{name}[{idx}]: fd {fd} vs analytic {an}"
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked >= 6, "checked only {checked} entries");
+}

@@ -1,0 +1,77 @@
+//! The forward-pass context bundling graph, parameters, and RNG.
+
+use crate::ParamStore;
+use msd_autograd::{Graph, ParamId, Var};
+use msd_tensor::rng::Rng;
+use std::cell::RefCell;
+
+/// Everything a layer needs to run its forward pass: the tape being built,
+/// the parameter store, and an RNG for stochastic regularisation.
+///
+/// Parameter leaves are cached per context so a parameter used twice on one
+/// tape produces a single leaf.
+pub struct Ctx<'a> {
+    /// The tape under construction.
+    pub g: &'a Graph,
+    /// Read access to parameter values.
+    pub store: &'a ParamStore,
+    /// RNG for dropout / droppath masks.
+    pub rng: RefCell<&'a mut Rng>,
+    cache: RefCell<Vec<Option<Var>>>,
+}
+
+impl<'a> Ctx<'a> {
+    /// Creates a context over a tape, store, and RNG.
+    pub fn new(g: &'a Graph, store: &'a ParamStore, rng: &'a mut Rng) -> Self {
+        let n = store.len();
+        Self {
+            g,
+            store,
+            rng: RefCell::new(rng),
+            cache: RefCell::new(vec![None; n]),
+        }
+    }
+
+    /// Fetches (or creates) the parameter leaf for `id` on this tape.
+    pub fn p(&self, id: ParamId) -> Var {
+        let mut cache = self.cache.borrow_mut();
+        if id >= cache.len() {
+            cache.resize(id + 1, None);
+        }
+        if let Some(v) = cache[id] {
+            return v;
+        }
+        let v = self.g.param(id, self.store.get(id).clone());
+        cache[id] = Some(v);
+        v
+    }
+
+    /// Applies dropout with the context's RNG.
+    pub fn dropout(&self, x: Var, p: f32) -> Var {
+        self.g.dropout(x, p, &mut self.rng.borrow_mut())
+    }
+
+    /// Applies droppath (stochastic depth) with the context's RNG.
+    pub fn drop_path(&self, x: Var, p: f32) -> Var {
+        self.g.drop_path(x, p, &mut self.rng.borrow_mut())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msd_tensor::Tensor;
+
+    #[test]
+    fn parameter_leaves_are_cached() {
+        let mut store = ParamStore::new();
+        let id = store.register("w", Tensor::ones(&[2]));
+        let g = Graph::new();
+        let mut rng = Rng::seed_from(0);
+        let ctx = Ctx::new(&g, &store, &mut rng);
+        let a = ctx.p(id);
+        let b = ctx.p(id);
+        assert_eq!(a, b);
+        assert_eq!(g.len(), 1);
+    }
+}

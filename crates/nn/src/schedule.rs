@@ -1,0 +1,82 @@
+//! Learning-rate schedules.
+
+/// A learning-rate schedule mapping epoch index → multiplier applied to the
+/// base learning rate. Matches the schedules used by the Time-Series-Library
+/// experiment protocol the paper follows.
+#[derive(Clone, Copy, Debug)]
+pub enum LrSchedule {
+    /// Constant learning rate.
+    Constant,
+    /// Halve the rate every epoch after the first (`type1` in the reference
+    /// implementation).
+    HalvingAfter(usize),
+    /// Cosine decay to zero over `total` epochs.
+    Cosine {
+        /// Epoch count over which the rate decays to 0.
+        total: usize,
+    },
+}
+
+impl LrSchedule {
+    /// Multiplier for the base learning rate at `epoch` (0-based).
+    pub fn factor(&self, epoch: usize) -> f32 {
+        match *self {
+            LrSchedule::Constant => 1.0,
+            LrSchedule::HalvingAfter(start) => {
+                if epoch < start {
+                    1.0
+                } else {
+                    0.5f32.powi((epoch - start + 1) as i32)
+                }
+            }
+            LrSchedule::Cosine { total } => {
+                let t = (epoch as f32 / total.max(1) as f32).min(1.0);
+                0.5 * (1.0 + (std::f32::consts::PI * t).cos())
+            }
+        }
+    }
+
+    /// The learning rate at `epoch` given `base`.
+    pub fn lr_at(&self, base: f32, epoch: usize) -> f32 {
+        base * self.factor(epoch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_flat() {
+        let s = LrSchedule::Constant;
+        assert_eq!(s.factor(0), 1.0);
+        assert_eq!(s.factor(100), 1.0);
+    }
+
+    #[test]
+    fn halving_halves() {
+        let s = LrSchedule::HalvingAfter(1);
+        assert_eq!(s.factor(0), 1.0);
+        assert_eq!(s.factor(1), 0.5);
+        assert_eq!(s.factor(2), 0.25);
+    }
+
+    #[test]
+    fn cosine_decays_monotonically_to_zero() {
+        let s = LrSchedule::Cosine { total: 10 };
+        let mut prev = f32::INFINITY;
+        for e in 0..=10 {
+            let f = s.factor(e);
+            assert!(f <= prev + 1e-6);
+            prev = f;
+        }
+        assert!(s.factor(10) < 1e-6);
+        assert_eq!(s.factor(0), 1.0);
+    }
+
+    #[test]
+    fn lr_at_scales_base() {
+        let s = LrSchedule::HalvingAfter(1);
+        assert_eq!(s.lr_at(0.4, 1), 0.2);
+    }
+}

@@ -1,0 +1,144 @@
+//! Checkpoint serialisation: a tiny self-describing binary format so model
+//! weights can be saved and restored without external format crates.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! magic  "MSDCKPT1" (8 bytes)
+//! count  u32
+//! repeat count times:
+//!   name_len u32, name bytes (utf-8)
+//!   rank u32, dims u32 × rank
+//!   data f32 × numel
+//! ```
+
+use crate::ParamStore;
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 8] = b"MSDCKPT1";
+
+/// Writes every parameter of `store` to `w`.
+pub fn save(store: &ParamStore, w: &mut impl Write) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&(store.len() as u32).to_le_bytes())?;
+    for (_, name, value) in store.iter() {
+        w.write_all(&(name.len() as u32).to_le_bytes())?;
+        w.write_all(name.as_bytes())?;
+        w.write_all(&(value.ndim() as u32).to_le_bytes())?;
+        for &d in value.shape() {
+            w.write_all(&(d as u32).to_le_bytes())?;
+        }
+        for &x in value.data() {
+            w.write_all(&x.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads a checkpoint and loads it into `store`, matching parameters by
+/// registration order and validating names and shapes.
+pub fn load(store: &mut ParamStore, r: &mut impl Read) -> io::Result<()> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad checkpoint magic"));
+    }
+    let count = read_u32(r)? as usize;
+    if count != store.len() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("checkpoint has {count} params, store has {}", store.len()),
+        ));
+    }
+    let mut values = Vec::with_capacity(count);
+    for idx in 0..count {
+        let name_len = read_u32(r)? as usize;
+        let mut name = vec![0u8; name_len];
+        r.read_exact(&mut name)?;
+        let name = String::from_utf8(name)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        if name != store.name(idx) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("param {idx} name mismatch: checkpoint '{name}' vs store '{}'", store.name(idx)),
+            ));
+        }
+        let rank = read_u32(r)? as usize;
+        let mut shape = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            shape.push(read_u32(r)? as usize);
+        }
+        let numel: usize = shape.iter().product();
+        let mut data = vec![0.0f32; numel];
+        let mut buf = [0u8; 4];
+        for d in data.iter_mut() {
+            r.read_exact(&mut buf)?;
+            *d = f32::from_le_bytes(buf);
+        }
+        values.push(msd_tensor::Tensor::from_vec(&shape, data));
+    }
+    store.load_values(&values);
+    Ok(())
+}
+
+fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msd_tensor::rng::Rng;
+    use msd_tensor::Tensor;
+
+    fn sample_store() -> ParamStore {
+        let mut rng = Rng::seed_from(3);
+        let mut store = ParamStore::new();
+        store.register("layer.w", Tensor::randn(&[3, 4], 1.0, &mut rng));
+        store.register("layer.b", Tensor::randn(&[4], 1.0, &mut rng));
+        store
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let store = sample_store();
+        let mut buf = Vec::new();
+        save(&store, &mut buf).unwrap();
+        let mut restored = sample_store();
+        // Perturb, then restore.
+        restored.get_mut(0).data_mut()[0] = 1234.0;
+        load(&mut restored, &mut buf.as_slice()).unwrap();
+        assert_eq!(restored.get(0), store.get(0));
+        assert_eq!(restored.get(1), store.get(1));
+    }
+
+    #[test]
+    fn load_rejects_wrong_magic() {
+        let mut store = sample_store();
+        let err = load(&mut store, &mut &b"NOTACKPT........"[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn load_rejects_name_mismatch() {
+        let store = sample_store();
+        let mut buf = Vec::new();
+        save(&store, &mut buf).unwrap();
+        let mut other = ParamStore::new();
+        other.register("different.w", Tensor::zeros(&[3, 4]));
+        other.register("layer.b", Tensor::zeros(&[4]));
+        assert!(load(&mut other, &mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn load_rejects_count_mismatch() {
+        let store = sample_store();
+        let mut buf = Vec::new();
+        save(&store, &mut buf).unwrap();
+        let mut other = ParamStore::new();
+        other.register("layer.w", Tensor::zeros(&[3, 4]));
+        assert!(load(&mut other, &mut buf.as_slice()).is_err());
+    }
+}

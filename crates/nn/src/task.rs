@@ -1,0 +1,25 @@
+//! Task descriptors shared by every model in the workspace.
+
+/// The analysis task a model instance is built for. Determines the head
+/// architecture (Sec. III-A: the label space differs per task) and the
+/// task-specific loss.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Task {
+    /// Forecast `horizon` future steps per channel: output `[B, C, H]`,
+    /// MSE task loss. Used for both long- and short-term forecasting.
+    Forecast {
+        /// Number of future steps.
+        horizon: usize,
+    },
+    /// Reconstruct the full input: output `[B, C, L]`. With a mask, the loss
+    /// is computed on masked (missing) positions only — the imputation task.
+    /// Without a mask it is plain reconstruction — the anomaly-detection
+    /// task.
+    Reconstruct,
+    /// Series-level classification into `classes` categories: output
+    /// `[B, classes]` logits, cross-entropy task loss.
+    Classify {
+        /// Number of target classes.
+        classes: usize,
+    },
+}

@@ -1,0 +1,186 @@
+//! A small iterative radix-2 FFT and periodogram utilities.
+//!
+//! Used by the TimesNet-lite baseline for dominant-period detection
+//! (TimesNet discovers the top-k periods of a series from its amplitude
+//! spectrum) and available as a general analysis tool.
+
+use std::f64::consts::PI;
+
+/// In-place iterative radix-2 Cooley–Tukey FFT over interleaved complex
+/// `(re, im)` pairs. `data.len()` must be `2 * n` with `n` a power of two.
+fn fft_inplace(re: &mut [f64], im: &mut [f64]) {
+    let n = re.len();
+    assert!(n.is_power_of_two(), "fft length must be a power of two");
+    assert_eq!(re.len(), im.len());
+
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            re.swap(i, j);
+            im.swap(i, j);
+        }
+    }
+
+    // Butterflies.
+    let mut len = 2usize;
+    while len <= n {
+        let ang = -2.0 * PI / len as f64;
+        let (wr, wi) = (ang.cos(), ang.sin());
+        let mut i = 0;
+        while i < n {
+            let (mut cur_r, mut cur_i) = (1.0f64, 0.0f64);
+            for k in 0..len / 2 {
+                let (ur, ui) = (re[i + k], im[i + k]);
+                let (vr0, vi0) = (re[i + k + len / 2], im[i + k + len / 2]);
+                let vr = vr0 * cur_r - vi0 * cur_i;
+                let vi = vr0 * cur_i + vi0 * cur_r;
+                re[i + k] = ur + vr;
+                im[i + k] = ui + vi;
+                re[i + k + len / 2] = ur - vr;
+                im[i + k + len / 2] = ui - vi;
+                let next_r = cur_r * wr - cur_i * wi;
+                cur_i = cur_r * wi + cur_i * wr;
+                cur_r = next_r;
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+}
+
+/// Amplitude spectrum of a real series: `|FFT(x)|` for frequency bins
+/// `0..=n/2` after zero-padding to the next power of two. Bin `f`
+/// corresponds to `f` cycles over the padded length.
+pub fn amplitude_spectrum(series: &[f32]) -> Vec<f32> {
+    if series.is_empty() {
+        return vec![];
+    }
+    let n = series.len().next_power_of_two();
+    let mut re: Vec<f64> = series.iter().map(|&x| x as f64).collect();
+    re.resize(n, 0.0);
+    let mut im = vec![0.0f64; n];
+    fft_inplace(&mut re, &mut im);
+    (0..=n / 2)
+        .map(|k| ((re[k] * re[k] + im[k] * im[k]).sqrt() / n as f64) as f32)
+        .collect()
+}
+
+/// The `k` dominant periods of a series (in steps), found as the frequency
+/// bins with the largest amplitude (excluding the DC bin), mapped to
+/// periods `padded_len / bin`, deduplicated and clamped to `2..=len`.
+pub fn dominant_periods(series: &[f32], k: usize) -> Vec<usize> {
+    let len = series.len();
+    if len < 4 || k == 0 {
+        return vec![];
+    }
+    let spec = amplitude_spectrum(series);
+    let padded = (len.next_power_of_two()) as f32;
+    let mut bins: Vec<usize> = (1..spec.len()).collect();
+    bins.sort_by(|&a, &b| spec[b].total_cmp(&spec[a]));
+    let mut periods = Vec::with_capacity(k);
+    for bin in bins {
+        let period = (padded / bin as f32).round() as usize;
+        let period = period.clamp(2, len);
+        if !periods.contains(&period) {
+            periods.push(period);
+            if periods.len() == k {
+                break;
+            }
+        }
+    }
+    periods
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spectrum_of_pure_tone_peaks_at_its_bin() {
+        // 8 cycles over 64 samples (power of two: no padding distortion).
+        let n = 64;
+        let series: Vec<f32> = (0..n)
+            .map(|t| (2.0 * std::f32::consts::PI * 8.0 * t as f32 / n as f32).sin())
+            .collect();
+        let spec = amplitude_spectrum(&series);
+        let peak = (1..spec.len())
+            .max_by(|&a, &b| spec[a].total_cmp(&spec[b]))
+            .unwrap();
+        assert_eq!(peak, 8, "peak at bin {peak}");
+        // Pure tone amplitude 1 → |X_k|/n = 0.5 at the peak.
+        assert!((spec[8] - 0.5).abs() < 0.05, "peak amplitude {}", spec[8]);
+    }
+
+    #[test]
+    fn spectrum_of_constant_is_dc_only() {
+        let spec = amplitude_spectrum(&[3.0; 32]);
+        assert!(spec[0] > 2.9);
+        assert!(spec[1..].iter().all(|&a| a < 1e-4));
+    }
+
+    #[test]
+    fn dominant_periods_find_the_planted_cycle() {
+        let n = 128;
+        let series: Vec<f32> = (0..n)
+            .map(|t| {
+                (2.0 * std::f32::consts::PI * t as f32 / 16.0).sin()
+                    + 0.4 * (2.0 * std::f32::consts::PI * t as f32 / 4.0).sin()
+            })
+            .collect();
+        let periods = dominant_periods(&series, 2);
+        assert!(periods.contains(&16), "periods {periods:?}");
+        assert!(periods.contains(&4), "periods {periods:?}");
+    }
+
+    #[test]
+    fn dominant_periods_bounded_and_deduped() {
+        let mut rng = crate::rng::Rng::seed_from(3);
+        let series: Vec<f32> = (0..100).map(|_| rng.normal()).collect();
+        let periods = dominant_periods(&series, 5);
+        assert!(periods.len() <= 5);
+        for &p in &periods {
+            assert!((2..=100).contains(&p));
+        }
+        let mut dedup = periods.clone();
+        dedup.dedup();
+        assert_eq!(dedup, periods);
+    }
+
+    #[test]
+    fn fft_matches_naive_dft() {
+        let mut rng = crate::rng::Rng::seed_from(4);
+        let n = 16;
+        let x: Vec<f32> = (0..n).map(|_| rng.normal()).collect();
+        let spec = amplitude_spectrum(&x);
+        // Naive DFT.
+        #[allow(clippy::needless_range_loop)]
+        for k in 0..=n / 2 {
+            let mut re = 0.0f64;
+            let mut im = 0.0f64;
+            for (t, &v) in x.iter().enumerate() {
+                let ang = -2.0 * PI * k as f64 * t as f64 / n as f64;
+                re += v as f64 * ang.cos();
+                im += v as f64 * ang.sin();
+            }
+            let mag = ((re * re + im * im).sqrt() / n as f64) as f32;
+            assert!(
+                (spec[k] - mag).abs() < 1e-4,
+                "bin {k}: fft {} vs dft {mag}",
+                spec[k]
+            );
+        }
+    }
+
+    #[test]
+    fn empty_and_short_inputs_are_safe() {
+        assert!(amplitude_spectrum(&[]).is_empty());
+        assert!(dominant_periods(&[1.0, 2.0], 3).is_empty());
+    }
+}

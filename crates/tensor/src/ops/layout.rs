@@ -1,0 +1,285 @@
+//! Layout transformations: reshape, permute, padding, narrowing, concat.
+//!
+//! MSD-Mixer's temporal patching (Sec. III-C) is built entirely from these:
+//! zero left-padding so the length divides the patch size, a reshape into
+//! `[C, L', p]`, and permutes that rotate the mixing axis into last position
+//! for the MLP blocks.
+
+use crate::shape::{numel, strides_for};
+use crate::Tensor;
+
+impl Tensor {
+    /// Reinterprets the buffer under a new shape with the same element count.
+    ///
+    /// # Panics
+    /// Panics if element counts differ.
+    pub fn reshape(&self, shape: &[usize]) -> Tensor {
+        assert_eq!(
+            self.len(),
+            numel(shape),
+            "reshape {:?} -> {:?} changes element count",
+            self.shape(),
+            shape
+        );
+        Tensor::from_vec(shape, self.data().to_vec())
+    }
+
+    /// Reorders axes: output axis `i` is input axis `perm[i]`. Materialises a
+    /// contiguous result.
+    ///
+    /// # Panics
+    /// Panics if `perm` is not a permutation of `0..ndim`.
+    pub fn permute(&self, perm: &[usize]) -> Tensor {
+        let nd = self.ndim();
+        assert_eq!(perm.len(), nd, "permute rank mismatch");
+        let mut seen = vec![false; nd];
+        for &p in perm {
+            assert!(p < nd && !seen[p], "invalid permutation {:?}", perm);
+            seen[p] = true;
+        }
+        let in_shape = self.shape();
+        let in_strides = strides_for(in_shape);
+        let out_shape: Vec<usize> = perm.iter().map(|&p| in_shape[p]).collect();
+        // Stride to walk the *input* buffer in output order.
+        let walk: Vec<usize> = perm.iter().map(|&p| in_strides[p]).collect();
+        let mut out = Vec::with_capacity(self.len());
+        let src = self.data();
+        if nd == 0 {
+            return self.clone();
+        }
+        // Odometer walk over output coordinates, tracking the input offset
+        // incrementally so each element costs O(1) amortised.
+        let mut coords = vec![0usize; nd];
+        let mut offset = 0usize;
+        loop {
+            out.push(src[offset]);
+            // Increment the innermost coordinate, carrying as needed.
+            let mut axis = nd;
+            loop {
+                if axis == 0 {
+                    return Tensor::from_vec(&out_shape, out);
+                }
+                axis -= 1;
+                coords[axis] += 1;
+                offset += walk[axis];
+                if coords[axis] < out_shape[axis] {
+                    break;
+                }
+                offset -= walk[axis] * out_shape[axis];
+                coords[axis] = 0;
+            }
+        }
+    }
+
+    /// Zero-pads axis `axis` with `before` leading and `after` trailing
+    /// positions. The paper pads at the *beginning* of the time axis before
+    /// patching (Sec. III-C).
+    pub fn pad_axis(&self, axis: usize, before: usize, after: usize) -> Tensor {
+        assert!(axis < self.ndim(), "pad axis out of range");
+        if before == 0 && after == 0 {
+            return self.clone();
+        }
+        let in_shape = self.shape();
+        let mut out_shape = in_shape.to_vec();
+        out_shape[axis] += before + after;
+        let inner: usize = in_shape[axis + 1..].iter().product();
+        let outer: usize = in_shape[..axis].iter().product();
+        let in_block = in_shape[axis] * inner;
+        let out_block = out_shape[axis] * inner;
+        let mut out = vec![0.0f32; outer * out_block];
+        for o in 0..outer {
+            let src = &self.data()[o * in_block..(o + 1) * in_block];
+            let dst = &mut out[o * out_block + before * inner..o * out_block + before * inner + in_block];
+            dst.copy_from_slice(src);
+        }
+        Tensor::from_vec(&out_shape, out)
+    }
+
+    /// Slices `len` positions starting at `start` along `axis`.
+    ///
+    /// # Panics
+    /// Panics if the requested range exceeds the axis extent.
+    pub fn narrow(&self, axis: usize, start: usize, len: usize) -> Tensor {
+        assert!(axis < self.ndim(), "narrow axis out of range");
+        let in_shape = self.shape();
+        assert!(
+            start + len <= in_shape[axis],
+            "narrow range {}..{} exceeds axis {} of extent {}",
+            start,
+            start + len,
+            axis,
+            in_shape[axis]
+        );
+        let inner: usize = in_shape[axis + 1..].iter().product();
+        let outer: usize = in_shape[..axis].iter().product();
+        let in_block = in_shape[axis] * inner;
+        let out_block = len * inner;
+        let mut out_shape = in_shape.to_vec();
+        out_shape[axis] = len;
+        let mut out = Vec::with_capacity(outer * out_block);
+        for o in 0..outer {
+            let base = o * in_block + start * inner;
+            out.extend_from_slice(&self.data()[base..base + out_block]);
+        }
+        Tensor::from_vec(&out_shape, out)
+    }
+
+    /// Scatters `self` back into a zero tensor of extent `full_len` along
+    /// `axis` starting at `start` — the adjoint of [`Tensor::narrow`].
+    pub fn widen(&self, axis: usize, start: usize, full_len: usize) -> Tensor {
+        assert!(axis < self.ndim(), "widen axis out of range");
+        let in_shape = self.shape();
+        assert!(start + in_shape[axis] <= full_len, "widen range exceeds target");
+        let mut out_shape = in_shape.to_vec();
+        out_shape[axis] = full_len;
+        let mut out = Tensor::zeros(&out_shape);
+        let inner: usize = in_shape[axis + 1..].iter().product();
+        let outer: usize = in_shape[..axis].iter().product();
+        let in_block = in_shape[axis] * inner;
+        let out_block = full_len * inner;
+        for o in 0..outer {
+            let src = &self.data()[o * in_block..(o + 1) * in_block];
+            let dst_base = o * out_block + start * inner;
+            out.data_mut()[dst_base..dst_base + in_block].copy_from_slice(src);
+        }
+        out
+    }
+
+    /// Concatenates tensors along `axis`. All other axes must match.
+    pub fn concat(parts: &[&Tensor], axis: usize) -> Tensor {
+        assert!(!parts.is_empty(), "concat of zero tensors");
+        let first = parts[0].shape();
+        assert!(axis < first.len(), "concat axis out of range");
+        let mut total = 0usize;
+        for p in parts {
+            let s = p.shape();
+            assert_eq!(s.len(), first.len(), "concat rank mismatch");
+            for (i, (&a, &b)) in s.iter().zip(first).enumerate() {
+                if i != axis {
+                    assert_eq!(a, b, "concat non-axis extent mismatch on axis {i}");
+                }
+            }
+            total += s[axis];
+        }
+        let mut out_shape = first.to_vec();
+        out_shape[axis] = total;
+        let outer: usize = first[..axis].iter().product();
+        let inner: usize = first[axis + 1..].iter().product();
+        let mut out = Vec::with_capacity(numel(&out_shape));
+        for o in 0..outer {
+            for p in parts {
+                let ext = p.shape()[axis];
+                let block = ext * inner;
+                out.extend_from_slice(&p.data()[o * block..(o + 1) * block]);
+            }
+        }
+        Tensor::from_vec(&out_shape, out)
+    }
+
+    /// Repeats the tensor `reps` times along a new leading axis.
+    pub fn tile_leading(&self, reps: usize) -> Tensor {
+        let mut out_shape = Vec::with_capacity(self.ndim() + 1);
+        out_shape.push(reps);
+        out_shape.extend_from_slice(self.shape());
+        let mut out = Vec::with_capacity(self.len() * reps);
+        for _ in 0..reps {
+            out.extend_from_slice(self.data());
+        }
+        Tensor::from_vec(&out_shape, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reshape_preserves_order() {
+        let t = Tensor::from_vec(&[2, 3], (0..6).map(|i| i as f32).collect());
+        let r = t.reshape(&[3, 2]);
+        assert_eq!(r.data(), t.data());
+        assert_eq!(r.shape(), &[3, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "element count")]
+    fn reshape_rejects_bad_count() {
+        let _ = Tensor::zeros(&[2, 3]).reshape(&[4, 2]);
+    }
+
+    #[test]
+    fn permute_2d_is_transpose() {
+        let t = Tensor::from_vec(&[2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let p = t.permute(&[1, 0]);
+        assert_eq!(p.shape(), &[3, 2]);
+        assert_eq!(p.data(), &[1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
+    }
+
+    #[test]
+    fn permute_3d_known_values() {
+        // shape [2,2,2]: value = 4a + 2b + c
+        let t = Tensor::from_vec(&[2, 2, 2], (0..8).map(|i| i as f32).collect());
+        let p = t.permute(&[2, 0, 1]); // out[c][a][b] = in[a][b][c]
+        assert_eq!(p.shape(), &[2, 2, 2]);
+        assert_eq!(p.at(&[1, 0, 1]), t.at(&[0, 1, 1]));
+        assert_eq!(p.at(&[0, 1, 0]), t.at(&[1, 0, 0]));
+    }
+
+    #[test]
+    fn permute_inverse_round_trips() {
+        let t = Tensor::from_vec(&[2, 3, 4], (0..24).map(|i| i as f32).collect());
+        let p = t.permute(&[2, 0, 1]);
+        let back = p.permute(&[1, 2, 0]);
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn pad_axis_leading_zeros() {
+        let t = Tensor::from_vec(&[2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let p = t.pad_axis(1, 2, 0);
+        assert_eq!(p.shape(), &[2, 4]);
+        assert_eq!(p.data(), &[0.0, 0.0, 1.0, 2.0, 0.0, 0.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn pad_then_narrow_round_trips() {
+        let t = Tensor::from_vec(&[2, 3], (1..=6).map(|i| i as f32).collect());
+        let p = t.pad_axis(1, 2, 1);
+        assert_eq!(p.shape(), &[2, 6]);
+        assert_eq!(p.narrow(1, 2, 3), t);
+    }
+
+    #[test]
+    fn narrow_axis0() {
+        let t = Tensor::from_vec(&[3, 2], (0..6).map(|i| i as f32).collect());
+        let n = t.narrow(0, 1, 2);
+        assert_eq!(n.shape(), &[2, 2]);
+        assert_eq!(n.data(), &[2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn widen_is_adjoint_of_narrow() {
+        let t = Tensor::from_vec(&[2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let w = t.widen(1, 1, 4);
+        assert_eq!(w.shape(), &[2, 4]);
+        assert_eq!(w.data(), &[0.0, 1.0, 2.0, 0.0, 0.0, 3.0, 4.0, 0.0]);
+        assert_eq!(w.narrow(1, 1, 2), t);
+    }
+
+    #[test]
+    fn concat_axis1() {
+        let a = Tensor::from_vec(&[2, 1], vec![1.0, 2.0]);
+        let b = Tensor::from_vec(&[2, 2], vec![3.0, 4.0, 5.0, 6.0]);
+        let c = Tensor::concat(&[&a, &b], 1);
+        assert_eq!(c.shape(), &[2, 3]);
+        assert_eq!(c.data(), &[1.0, 3.0, 4.0, 2.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn tile_leading_repeats() {
+        let t = Tensor::from_vec(&[2], vec![1.0, 2.0]);
+        let r = t.tile_leading(3);
+        assert_eq!(r.shape(), &[3, 2]);
+        assert_eq!(r.data(), &[1.0, 2.0, 1.0, 2.0, 1.0, 2.0]);
+    }
+}

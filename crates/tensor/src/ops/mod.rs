@@ -1,0 +1,12 @@
+//! Tensor operations, grouped by kind.
+//!
+//! All ops are implemented as inherent methods on [`crate::Tensor`] so call
+//! sites read naturally (`x.matmul(&w)`), with the implementations split
+//! across the submodules below.
+
+mod elementwise;
+mod layout;
+mod matmul;
+mod reduce;
+
+pub use elementwise::{fast_tanh, gelu_grad_scalar, gelu_scalar};

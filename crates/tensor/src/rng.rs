@@ -1,0 +1,106 @@
+//! Deterministic random number generation.
+//!
+//! Wraps `rand`'s `StdRng` and adds Box–Muller Gaussian sampling so the
+//! workspace does not need an extra distribution crate.
+
+use rand::rngs::StdRng;
+use rand::{Rng as _, SeedableRng};
+
+/// Seedable RNG used throughout the workspace for parameter initialisation,
+/// data generation, shuffling, and dropout masks.
+pub struct Rng {
+    inner: StdRng,
+    /// Second Box–Muller sample cached between `normal()` calls.
+    spare: Option<f32>,
+}
+
+impl Rng {
+    /// Creates an RNG from a 64-bit seed. Equal seeds give equal streams.
+    pub fn seed_from(seed: u64) -> Self {
+        Self {
+            inner: StdRng::seed_from_u64(seed),
+            spare: None,
+        }
+    }
+
+    /// Uniform sample in `[0, 1)`.
+    #[inline]
+    pub fn uniform(&mut self) -> f32 {
+        self.inner.gen::<f32>()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    #[inline]
+    pub fn below(&mut self, n: usize) -> usize {
+        self.inner.gen_range(0..n)
+    }
+
+    /// Standard normal sample via the Box–Muller transform.
+    pub fn normal(&mut self) -> f32 {
+        if let Some(z) = self.spare.take() {
+            return z;
+        }
+        // Avoid ln(0) by sampling u1 from (0, 1].
+        let u1 = 1.0 - self.uniform();
+        let u2 = self.uniform();
+        let r = (-2.0 * (u1 as f64).ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2 as f64;
+        let z0 = (r * theta.cos()) as f32;
+        let z1 = (r * theta.sin()) as f32;
+        self.spare = Some(z1);
+        z0
+    }
+
+    /// Fisher–Yates shuffle of `slice`.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.below(i + 1);
+            slice.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = Rng::seed_from(1);
+        let mut b = Rng::seed_from(1);
+        for _ in 0..100 {
+            assert_eq!(a.uniform(), b.uniform());
+        }
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = Rng::seed_from(3);
+        let n = 50_000;
+        let samples: Vec<f32> = (0..n).map(|_| rng.normal()).collect();
+        let mean = samples.iter().sum::<f32>() / n as f32;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn below_stays_in_range() {
+        let mut rng = Rng::seed_from(9);
+        for _ in 0..1000 {
+            assert!(rng.below(7) < 7);
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Rng::seed_from(5);
+        let mut v: Vec<usize> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        // With 50 elements an identity shuffle is astronomically unlikely.
+        assert_ne!(v, (0..50).collect::<Vec<_>>());
+    }
+}

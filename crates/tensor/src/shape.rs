@@ -1,0 +1,75 @@
+//! Shape and stride arithmetic shared by the tensor ops.
+
+/// A tensor shape: the extent of each axis, outermost first.
+pub type Shape = Vec<usize>;
+
+/// Row-major strides for `shape`: `strides[i]` is the linear-index step for
+/// advancing one position along axis `i`.
+pub fn strides_for(shape: &[usize]) -> Vec<usize> {
+    let mut strides = vec![1usize; shape.len()];
+    for i in (0..shape.len().saturating_sub(1)).rev() {
+        strides[i] = strides[i + 1] * shape[i + 1];
+    }
+    strides
+}
+
+/// Total number of elements of `shape` (1 for a scalar / empty shape).
+#[inline]
+pub fn numel(shape: &[usize]) -> usize {
+    shape.iter().product()
+}
+
+/// Decomposes a linear row-major index into per-axis coordinates.
+#[allow(dead_code)]
+pub(crate) fn unravel(mut idx: usize, shape: &[usize], out: &mut [usize]) {
+    debug_assert_eq!(shape.len(), out.len());
+    for i in (0..shape.len()).rev() {
+        out[i] = idx % shape[i];
+        idx /= shape[i];
+    }
+}
+
+/// Recomposes per-axis coordinates into a linear index given `strides`.
+#[inline]
+#[allow(dead_code)]
+pub(crate) fn ravel(coords: &[usize], strides: &[usize]) -> usize {
+    coords.iter().zip(strides).map(|(c, s)| c * s).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_row_major() {
+        assert_eq!(strides_for(&[2, 3, 4]), vec![12, 4, 1]);
+        assert_eq!(strides_for(&[5]), vec![1]);
+        assert_eq!(strides_for(&[]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn numel_matches_product() {
+        assert_eq!(numel(&[2, 3, 4]), 24);
+        assert_eq!(numel(&[]), 1);
+        assert_eq!(numel(&[7, 0]), 0);
+    }
+
+    #[test]
+    fn unravel_ravel_round_trip() {
+        let shape = [2usize, 3, 4];
+        let strides = strides_for(&shape);
+        let mut coords = [0usize; 3];
+        for idx in 0..numel(&shape) {
+            unravel(idx, &shape, &mut coords);
+            assert_eq!(ravel(&coords, &strides), idx);
+        }
+    }
+
+    #[test]
+    fn unravel_known_values() {
+        let mut coords = [0usize; 3];
+        unravel(17, &[2, 3, 4], &mut coords);
+        // 17 = 1*12 + 1*4 + 1
+        assert_eq!(coords, [1, 1, 1]);
+    }
+}

@@ -1,0 +1,108 @@
+//! Classical imputation references: linear interpolation and mean fill.
+//! Lower bounds for the learned imputers of Table VII.
+
+use msd_tensor::Tensor;
+
+/// Fills missing positions (mask 0) of each row of `data` (`[C, T]` or any
+/// `[..., T]`) by linear interpolation between the nearest observed
+/// neighbours; leading/trailing gaps repeat the nearest observed value.
+/// Rows with no observations are filled with zeros.
+pub fn linear_interpolate(data: &Tensor, observed_mask: &Tensor) -> Tensor {
+    assert_eq!(data.shape(), observed_mask.shape(), "mask shape mismatch");
+    let t = *data.shape().last().expect("scalar input");
+    let mut out = data.clone();
+    let rows = data.len() / t;
+    for r in 0..rows {
+        let mask = &observed_mask.data()[r * t..(r + 1) * t];
+        let row = &mut out.data_mut()[r * t..(r + 1) * t];
+        let observed: Vec<usize> = (0..t).filter(|&i| mask[i] != 0.0).collect();
+        if observed.is_empty() {
+            row.iter_mut().for_each(|v| *v = 0.0);
+            continue;
+        }
+        for i in 0..t {
+            if mask[i] != 0.0 {
+                continue;
+            }
+            // Nearest observed neighbours on each side.
+            let left = observed.iter().rev().find(|&&j| j < i).copied();
+            let right = observed.iter().find(|&&j| j > i).copied();
+            row[i] = match (left, right) {
+                (Some(l), Some(rr)) => {
+                    let frac = (i - l) as f32 / (rr - l) as f32;
+                    row[l] * (1.0 - frac) + row[rr] * frac
+                }
+                (Some(l), None) => row[l],
+                (None, Some(rr)) => row[rr],
+                (None, None) => unreachable!("observed nonempty"),
+            };
+        }
+    }
+    out
+}
+
+/// Fills missing positions with the per-row mean of the observed values.
+pub fn mean_fill(data: &Tensor, observed_mask: &Tensor) -> Tensor {
+    assert_eq!(data.shape(), observed_mask.shape(), "mask shape mismatch");
+    let t = *data.shape().last().expect("scalar input");
+    let mut out = data.clone();
+    let rows = data.len() / t;
+    for r in 0..rows {
+        let mask = &observed_mask.data()[r * t..(r + 1) * t];
+        let row = &mut out.data_mut()[r * t..(r + 1) * t];
+        let (mut sum, mut n) = (0.0f32, 0usize);
+        for i in 0..t {
+            if mask[i] != 0.0 {
+                sum += row[i];
+                n += 1;
+            }
+        }
+        let mean = if n == 0 { 0.0 } else { sum / n as f32 };
+        for i in 0..t {
+            if mask[i] == 0.0 {
+                row[i] = mean;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interpolates_between_neighbours() {
+        let data = Tensor::from_vec(&[1, 5], vec![0.0, 999.0, 999.0, 3.0, 4.0]);
+        let mask = Tensor::from_vec(&[1, 5], vec![1.0, 0.0, 0.0, 1.0, 1.0]);
+        let filled = linear_interpolate(&data, &mask);
+        assert!((filled.data()[1] - 1.0).abs() < 1e-6);
+        assert!((filled.data()[2] - 2.0).abs() < 1e-6);
+        // Observed values untouched.
+        assert_eq!(filled.data()[0], 0.0);
+        assert_eq!(filled.data()[3], 3.0);
+    }
+
+    #[test]
+    fn edges_repeat_nearest() {
+        let data = Tensor::from_vec(&[1, 4], vec![9.0, 5.0, 9.0, 9.0]);
+        let mask = Tensor::from_vec(&[1, 4], vec![0.0, 1.0, 0.0, 0.0]);
+        let filled = linear_interpolate(&data, &mask);
+        assert_eq!(filled.data(), &[5.0, 5.0, 5.0, 5.0]);
+    }
+
+    #[test]
+    fn all_missing_row_becomes_zero() {
+        let data = Tensor::from_vec(&[1, 3], vec![7.0, 7.0, 7.0]);
+        let mask = Tensor::zeros(&[1, 3]);
+        assert_eq!(linear_interpolate(&data, &mask).data(), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn mean_fill_uses_observed_mean() {
+        let data = Tensor::from_vec(&[1, 4], vec![2.0, 0.0, 4.0, 0.0]);
+        let mask = Tensor::from_vec(&[1, 4], vec![1.0, 0.0, 1.0, 0.0]);
+        let filled = mean_fill(&data, &mask);
+        assert_eq!(filled.data(), &[2.0, 3.0, 4.0, 3.0]);
+    }
+}

@@ -1,0 +1,149 @@
+//! Per-channel standardisation, fit on the training portion only — the
+//! preprocessing convention of the benchmark suite (losses and metrics are
+//! computed in standardised space).
+
+use msd_tensor::Tensor;
+
+/// Z-score scaler with per-channel mean and standard deviation.
+#[derive(Clone, Debug)]
+pub struct StandardScaler {
+    mean: Vec<f32>,
+    std: Vec<f32>,
+}
+
+impl StandardScaler {
+    /// Fits on the first `fit_steps` time steps of `data` (`[C, T]`) — pass
+    /// the training-split length to avoid test leakage.
+    pub fn fit(data: &Tensor, fit_steps: usize) -> Self {
+        assert_eq!(data.ndim(), 2, "expected [C, T]");
+        let (c, t_total) = (data.shape()[0], data.shape()[1]);
+        let n = fit_steps.min(t_total).max(1);
+        let mut mean = Vec::with_capacity(c);
+        let mut std = Vec::with_capacity(c);
+        for ch in 0..c {
+            let row = &data.data()[ch * t_total..ch * t_total + n];
+            let m = row.iter().sum::<f32>() / n as f32;
+            let v = row.iter().map(|&x| (x - m) * (x - m)).sum::<f32>() / n as f32;
+            mean.push(m);
+            std.push(v.sqrt().max(1e-6));
+        }
+        Self { mean, std }
+    }
+
+    /// Standardises `data` of shape `[C, T]` (or `[B, C, T]`).
+    pub fn transform(&self, data: &Tensor) -> Tensor {
+        let shape = data.shape().to_vec();
+        let (c_axis, t) = match shape.len() {
+            2 => (0, shape[1]),
+            3 => (1, shape[2]),
+            _ => panic!("expected [C, T] or [B, C, T], got {shape:?}"),
+        };
+        assert_eq!(shape[c_axis], self.mean.len(), "channel count mismatch");
+        let mut out = data.clone();
+        let c = self.mean.len();
+        let rows = out.len() / t;
+        for r in 0..rows {
+            let ch = r % c;
+            let row = &mut out.data_mut()[r * t..(r + 1) * t];
+            let (m, s) = (self.mean[ch], self.std[ch]);
+            for v in row {
+                *v = (*v - m) / s;
+            }
+        }
+        out
+    }
+
+    /// Inverts [`StandardScaler::transform`].
+    pub fn inverse(&self, data: &Tensor) -> Tensor {
+        let shape = data.shape().to_vec();
+        let (c_axis, t) = match shape.len() {
+            2 => (0, shape[1]),
+            3 => (1, shape[2]),
+            _ => panic!("expected [C, T] or [B, C, T], got {shape:?}"),
+        };
+        assert_eq!(shape[c_axis], self.mean.len(), "channel count mismatch");
+        let mut out = data.clone();
+        let c = self.mean.len();
+        let rows = out.len() / t;
+        for r in 0..rows {
+            let ch = r % c;
+            let row = &mut out.data_mut()[r * t..(r + 1) * t];
+            let (m, s) = (self.mean[ch], self.std[ch]);
+            for v in row {
+                *v = *v * s + m;
+            }
+        }
+        out
+    }
+
+    /// Per-channel means.
+    pub fn mean(&self) -> &[f32] {
+        &self.mean
+    }
+
+    /// Per-channel standard deviations.
+    pub fn std(&self) -> &[f32] {
+        &self.std
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msd_tensor::rng::Rng;
+
+    #[test]
+    fn transform_standardises_fit_region() {
+        let mut rng = Rng::seed_from(9);
+        let data = Tensor::randn(&[3, 500], 4.0, &mut rng).add_scalar(10.0);
+        let scaler = StandardScaler::fit(&data, 500);
+        let z = scaler.transform(&data);
+        for ch in 0..3 {
+            let row = &z.data()[ch * 500..(ch + 1) * 500];
+            let m = row.iter().sum::<f32>() / 500.0;
+            let v = row.iter().map(|&x| (x - m) * (x - m)).sum::<f32>() / 500.0;
+            assert!(m.abs() < 1e-4, "mean {m}");
+            assert!((v - 1.0).abs() < 1e-3, "var {v}");
+        }
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        let mut rng = Rng::seed_from(10);
+        let data = Tensor::randn(&[2, 100], 3.0, &mut rng).add_scalar(-5.0);
+        let scaler = StandardScaler::fit(&data, 70);
+        let z = scaler.transform(&data);
+        let back = scaler.inverse(&z);
+        assert!(msd_tensor::allclose(&back, &data, 1e-4));
+    }
+
+    #[test]
+    fn fit_ignores_test_region() {
+        // A huge shift in the tail must not affect the statistics.
+        let mut data = Tensor::ones(&[1, 100]);
+        for v in &mut data.data_mut()[70..] {
+            *v = 1000.0;
+        }
+        let scaler = StandardScaler::fit(&data, 70);
+        assert!((scaler.mean()[0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn transform_handles_batched_input() {
+        let data = Tensor::from_vec(&[2, 4], vec![0.0, 2.0, 0.0, 2.0, 10.0, 14.0, 10.0, 14.0]);
+        let scaler = StandardScaler::fit(&data, 4);
+        let batch = data.reshape(&[1, 2, 4]);
+        let z = scaler.transform(&batch);
+        assert_eq!(z.shape(), &[1, 2, 4]);
+        assert!((z.at(&[0, 0, 0]) + 1.0).abs() < 1e-5);
+        assert!((z.at(&[0, 1, 1]) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn constant_channel_does_not_divide_by_zero() {
+        let data = Tensor::full(&[1, 50], 7.0);
+        let scaler = StandardScaler::fit(&data, 50);
+        let z = scaler.transform(&data);
+        assert!(z.data().iter().all(|v| v.is_finite()));
+    }
+}

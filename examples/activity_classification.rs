@@ -1,0 +1,57 @@
+//! Domain scenario: series-level classification (think human-activity
+//! recognition from wearables, Sec. IV-F) on a UWGL-like gesture dataset.
+//!
+//! ```sh
+//! cargo run --release -p msd-harness --example activity_classification
+//! ```
+
+use msd_baselines::MiniRocketClassifier;
+use msd_data::{classification_datasets, ClassSpec};
+use msd_harness::experiments::classification::run_single;
+use msd_harness::{ModelSpec, Scale};
+use msd_metrics::accuracy;
+use msd_mixer::variants::Variant;
+
+fn main() {
+    println!("== Gesture classification (UWGL-like, 8 classes) ==\n");
+    let spec = ClassSpec {
+        ..classification_datasets()
+            .into_iter()
+            .find(|s| s.name == "UWGL")
+            .expect("registry contains UWGL")
+    };
+    println!(
+        "dataset: {} channels x {} steps, {} classes, {} train / {} test series\n",
+        spec.channels, spec.series_len, spec.classes, spec.train_size, spec.test_size
+    );
+
+    let chance = 1.0 / spec.classes as f32;
+    for model in [
+        ModelSpec::MsdMixer(Variant::Full),
+        ModelSpec::PatchTst,
+        ModelSpec::DLinear,
+        ModelSpec::NHits,
+    ] {
+        let acc = run_single(&spec, model, Scale::Fast);
+        println!(
+            "  {:<10} accuracy {:>5.1}%  ({}x chance)",
+            model.name(),
+            acc * 100.0,
+            (acc / chance).round() as usize
+        );
+    }
+    // The statistical task-specific baseline of Table XI.
+    let data = spec.generate();
+    let clf = MiniRocketClassifier::fit(&data.train_x, &data.train_y, spec.classes, 48, 20);
+    let acc = accuracy(&clf.predict(&data.test_x), &data.test_y);
+    println!(
+        "  {:<10} accuracy {:>5.1}%  ({}x chance)  [statistical, Table XI]",
+        "MiniRocket",
+        acc * 100.0,
+        (acc / chance).round() as usize
+    );
+
+    println!("\nClass identity is encoded at several timescales (base frequency,");
+    println!("harmonics, envelope, channel pattern), so multi-scale patch modeling");
+    println!("is what separates the models here — the paper's Sec. IV-F argument.");
+}

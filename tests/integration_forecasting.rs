@@ -1,0 +1,129 @@
+//! End-to-end forecasting integration: data generation → scaling →
+//! windowing → training → evaluation, across crates.
+
+use msd_data::{long_term_datasets, LongRangeSpec, SlidingWindows, Split, StandardScaler};
+use msd_harness::{evaluate_forecast, fit, ForecastSource, ModelSpec, TrainConfig};
+use msd_mixer::variants::Variant;
+use msd_nn::{ParamStore, Task};
+use msd_tensor::rng::Rng;
+
+fn small_etth1() -> LongRangeSpec {
+    LongRangeSpec {
+        total_steps: 1000,
+        channels: 4,
+        ..long_term_datasets()
+            .into_iter()
+            .find(|s| s.name == "ETTh1")
+            .unwrap()
+    }
+}
+
+fn train_eval(spec: &LongRangeSpec, model_spec: ModelSpec, epochs: usize) -> (f32, f32) {
+    let raw = spec.generate();
+    let scaler = StandardScaler::fit(&raw, (spec.total_steps as f32 * 0.7) as usize);
+    let data = scaler.transform(&raw);
+    let train_src = ForecastSource::new(SlidingWindows::new(&data, 96, 24, Split::Train), 192);
+    let test_src = ForecastSource::new(SlidingWindows::new(&data, 96, 24, Split::Test), 96);
+    let mut store = ParamStore::new();
+    let mut rng = Rng::seed_from(1);
+    let model = model_spec.build(
+        &mut store,
+        &mut rng,
+        spec.channels,
+        96,
+        Task::Forecast { horizon: 24 },
+        8,
+    );
+    fit(
+        &model,
+        &mut store,
+        &train_src,
+        None,
+        &TrainConfig {
+            epochs,
+            lr: model_spec.default_lr(),
+            ..TrainConfig::default()
+        },
+    );
+    evaluate_forecast(&model, &store, &test_src, 32)
+}
+
+#[test]
+fn msd_mixer_beats_flat_forecast() {
+    // On standardised seasonal data, the flat zero forecast has MSE ≈ 1;
+    // a trained MSD-Mixer must do much better.
+    let (mse, mae) = train_eval(&small_etth1(), ModelSpec::MsdMixer(Variant::Full), 4);
+    assert!(mse < 0.8, "MSD-Mixer mse {mse}");
+    assert!(mae < 0.8, "MSD-Mixer mae {mae}");
+}
+
+#[test]
+fn mixer_and_linear_baseline_land_in_same_regime() {
+    // The reproduction claim is about ordering at full budget; at this tiny
+    // budget we assert both models train sanely (within 2x of each other).
+    let (mixer_mse, _) = train_eval(&small_etth1(), ModelSpec::MsdMixer(Variant::Full), 4);
+    let (dlinear_mse, _) = train_eval(&small_etth1(), ModelSpec::DLinear, 4);
+    assert!(mixer_mse.is_finite() && dlinear_mse.is_finite());
+    assert!(
+        mixer_mse < dlinear_mse * 2.0 && dlinear_mse < mixer_mse * 2.0,
+        "mixer {mixer_mse} vs dlinear {dlinear_mse}"
+    );
+}
+
+#[test]
+fn random_walk_data_favours_level_aware_models() {
+    // On Exchange-like random walks the naive continuation is near-optimal;
+    // NLinear (last-value anchored) must stay close to MSE of the optimal
+    // flat continuation, and far below exploding.
+    let spec = LongRangeSpec {
+        total_steps: 1200,
+        ..long_term_datasets()
+            .into_iter()
+            .find(|s| s.name == "Exchange")
+            .unwrap()
+    };
+    let (mse, _) = train_eval(&spec, ModelSpec::NLinear, 4);
+    assert!(mse < 1.0, "NLinear on random walk mse {mse}");
+}
+
+#[test]
+fn longer_horizons_are_harder() {
+    let spec = small_etth1();
+    let raw = spec.generate();
+    let scaler = StandardScaler::fit(&raw, 700);
+    let data = scaler.transform(&raw);
+    let mut errs = Vec::new();
+    for h in [12usize, 96] {
+        let train_src = ForecastSource::new(SlidingWindows::new(&data, 96, h, Split::Train), 128);
+        let test_src = ForecastSource::new(SlidingWindows::new(&data, 96, h, Split::Test), 64);
+        let mut store = ParamStore::new();
+        let mut rng = Rng::seed_from(2);
+        let model = ModelSpec::DLinear.build(
+            &mut store,
+            &mut rng,
+            spec.channels,
+            96,
+            Task::Forecast { horizon: h },
+            8,
+        );
+        fit(
+            &model,
+            &mut store,
+            &train_src,
+            None,
+            &TrainConfig {
+                epochs: 4,
+                lr: 1e-2,
+                ..TrainConfig::default()
+            },
+        );
+        let (mse, _) = evaluate_forecast(&model, &store, &test_src, 32);
+        errs.push(mse);
+    }
+    assert!(
+        errs[1] > errs[0] * 0.8,
+        "h=96 ({}) should not be much easier than h=12 ({})",
+        errs[1],
+        errs[0]
+    );
+}
