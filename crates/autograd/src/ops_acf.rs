@@ -4,7 +4,13 @@
 //! For the residual `Z_k ∈ R^{B×C×L}` the paper penalises autocorrelation
 //! coefficients that exceed the white-noise tolerance `α/√L`:
 //!
-//! `L_acf = Σ_{i,j} relu(|a_{i,j}| − α/√L)² / (C·(L−1))`
+//! `L_acf = Σ_{i,j} relu(|a_{i,j}| − α/√L) / (C·(L−1))`
+//!
+//! The hinge is linear, not squared: a squared penalty's gradient vanishes
+//! as a lag approaches the tolerance band, so borderline lags keep counting
+//! as violations while receiving negligible pressure. The linear hinge keeps
+//! a constant-magnitude gradient on every violating lag until it is strictly
+//! inside the band, which is what drives the violation *rate* to zero.
 //!
 //! with `a_{i,j}` the lag-`j` autocorrelation of channel `i` (Eq. 5),
 //! averaged over the batch. Because the coefficient involves a quotient of
@@ -18,7 +24,7 @@
 //!
 //! * `∂N_j/∂y_s = y_{s−j}·[s−j ≥ 0] + y_{s+j}·[s+j < L]`
 //! * `∂a_j/∂y_s = (∂N_j/∂y_s − 2·a_j·y_s) / D`
-//! * `∂L/∂a_j  = 2·relu(|a_j|−c)·sign(a_j) / (B·C·(L−1))`
+//! * `∂L/∂a_j  = sign(a_j)·[|a_j| > c] / (B·C·(L−1))`
 //! * chain through the centring: `∂L/∂z_s = g_s − mean_t(g_t)`.
 //!
 //! The adjoint is validated against finite differences in
@@ -80,8 +86,8 @@ fn acf_hinge_forward_backward(z: &Tensor, alpha: f32) -> (Tensor, Tensor) {
             if excess <= 0.0 {
                 continue;
             }
-            total += (excess as f64) * (excess as f64);
-            let w = 2.0 * excess * a.signum() * norm;
+            total += excess as f64;
+            let w = a.signum() * norm;
             wa_sum += w * a;
             // ∂N_j/∂y_s contributions.
             let wd = w * inv_d;
@@ -172,8 +178,7 @@ mod tests {
         for ch in 0..2 {
             let row = &data[ch * l..(ch + 1) * l];
             for a in acf(row, l - 1) {
-                let e = (a.abs() - c).max(0.0);
-                reference += e * e;
+                reference += (a.abs() - c).max(0.0);
             }
         }
         reference /= 2.0 * (l - 1) as f32;

@@ -46,7 +46,10 @@ impl Graph {
 /// Adjoint of [`Graph::linear`].
 ///
 /// With `x: [R, in]` flattened over leading axes, `W: [in, out]`:
-/// `dX = dY · Wᵀ`, `dW = Xᵀ · dY`, `db = Σ_rows dY`.
+/// `dX = dY · Wᵀ`, `dW = Xᵀ · dY`, `db = Σ_rows dY`. The transposed
+/// products go through [`Tensor::matmul_nt`] / [`Tensor::matmul_tn`], which
+/// read the transposed operand through strides — no transposed copy of `W`
+/// or `X` is ever materialised.
 pub(crate) fn linear_backward(
     node: &Node,
     grad_out: &Tensor,
@@ -61,8 +64,8 @@ pub(crate) fn linear_backward(
     let x2 = x.reshape(&[rows, in_dim]);
     let g2 = grad_out.reshape(&[rows, out_dim]);
 
-    let dx = g2.matmul(&w.transpose_last2()).reshape(x.shape());
-    let dw = x2.transpose_last2().matmul(&g2);
+    let dx = g2.matmul_nt(w).reshape(x.shape());
+    let dw = x2.matmul_tn(&g2);
 
     let mut out = vec![Some(dx), Some(dw)];
     if node.parents.len() == 3 {
@@ -86,17 +89,17 @@ pub(crate) fn matmul_backward(
         let n = b.shape()[1];
         let m = a.shape()[a.ndim() - 2];
         let batch = a.len() / (m * k);
-        // dA = G · Bᵀ, batched with 2-D rhs.
-        let da = grad_out.matmul(&b.transpose_last2());
+        // dA = G · Bᵀ, batched with 2-D rhs, read through strides.
+        let da = grad_out.matmul_nt(b);
         // dB = Σ_batches Aᵀ · G: flatten batches into rows.
         let a2 = a.reshape(&[batch * m, k]);
         let g2 = grad_out.reshape(&[batch * m, n]);
-        let db = a2.transpose_last2().matmul(&g2);
+        let db = a2.matmul_tn(&g2);
         vec![Some(da), Some(db)]
     } else {
         // Equal-rank batched: dA = G · Bᵀ, dB = Aᵀ · G, per batch.
-        let da = grad_out.matmul(&b.transpose_last2());
-        let db = a.transpose_last2().matmul(grad_out);
+        let da = grad_out.matmul_nt(b);
+        let db = a.matmul_tn(grad_out);
         vec![Some(da), Some(db)]
     }
 }

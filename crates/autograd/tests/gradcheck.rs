@@ -140,6 +140,44 @@ fn grad_matmul_2d_rhs() {
 }
 
 #[test]
+fn grad_linear_across_microkernel_boundaries() {
+    // The linear adjoint computes dX = dY·Wᵀ and dW = Xᵀ·dY through the
+    // strided matmul_nt / matmul_tn paths. Shapes straddle the SGEMM
+    // microkernel tile (MR = 6 rows, NR = 16 columns) so the ragged-edge
+    // packing code sits on the gradient path, not just the interior kernel.
+    let w0 = randn(&[7, 17], 50).scale(0.4);
+    let x0 = randn(&[13, 7], 51);
+    assert_gradcheck(&x0, EPS, TOL, |g, x| {
+        let w = g.input(w0.clone());
+        let y = g.linear(x, w, None);
+        g.mean_all(g.square(y))
+    });
+    assert_gradcheck(&w0, EPS, TOL, |g, w| {
+        let x = g.input(x0.clone());
+        let y = g.linear(x, w, None);
+        g.mean_all(g.square(y))
+    });
+}
+
+#[test]
+fn grad_matmul_batched_across_microkernel_boundaries() {
+    // Equal-rank batched adjoint: dA = G·Bᵀ and dB = Aᵀ·G run one strided
+    // gemm per batch entry. Ragged (m, k, n) = (7, 5, 17) crosses NR = 16.
+    let b0 = randn(&[3, 5, 17], 52).scale(0.4);
+    assert_gradcheck(&randn(&[3, 7, 5], 53), EPS, TOL, |g, a| {
+        let b = g.input(b0.clone());
+        let y = g.matmul(a, b);
+        g.mean_all(g.square(y))
+    });
+    let a0 = randn(&[3, 7, 5], 54);
+    assert_gradcheck(&b0, EPS, TOL, |g, b| {
+        let a = g.input(a0.clone());
+        let y = g.matmul(a, b);
+        g.mean_all(g.square(y))
+    });
+}
+
+#[test]
 fn grad_layout_chain() {
     // pad → reshape → permute → narrow, with a position-dependent weighting.
     let w = randn(&[3, 2, 2], 21);

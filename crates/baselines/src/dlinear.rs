@@ -36,8 +36,11 @@ impl DLinear {
             Task::Classify { .. } => input_len,
             t => task_output_len(t, input_len),
         };
-        let trend_fc = Linear::new(store, rng, "dlinear.trend", input_len, out_len);
-        let season_fc = Linear::new(store, rng, "dlinear.season", input_len, out_len);
+        // Averaging init, as in the reference implementation: both branches
+        // start at the window-mean forecast rather than a random projection,
+        // which a small step budget would largely spend unlearning.
+        let trend_fc = Linear::averaging(store, "dlinear.trend", input_len, out_len);
+        let season_fc = Linear::averaging(store, "dlinear.season", input_len, out_len);
         let classify_fc = match &task {
             Task::Classify { classes } => Some(Linear::new(
                 store,

@@ -4,15 +4,98 @@
 //!
 //! The benchmark suite regenerating every table and figure of the
 //! MSD-Mixer paper's evaluation section. Each `benches/table_*.rs` target
-//! (all `harness = false` except the Criterion micro-benches) prints the
+//! (all `harness = false`, driven by their own `main`) prints the
 //! corresponding table with this reproduction's measured numbers next to
-//! the paper's reference values where applicable.
+//! the paper's reference values where applicable. The `micro_*` targets
+//! time hot kernels with the in-tree [`timing`] harness.
 //!
 //! Run a single table with `cargo bench -p msd-bench --bench
 //! table_04_long_term`, or everything with `cargo bench --workspace`.
 //! Scale via `MSD_SCALE=smoke|fast|full` (default `fast`). Results are
 //! cached under `target/msd-results/` per scale; delete that directory to
 //! recompute.
+
+/// A minimal wall-clock timing harness for the `micro_*` benchmarks.
+///
+/// Replaces the former criterion dev-dependency so the workspace resolves
+/// with zero registry access. Each benchmark is warmed up, then run in
+/// batches until a time budget is spent; the per-iteration median, minimum,
+/// and mean of the batch means are reported.
+pub mod timing {
+    use std::time::{Duration, Instant};
+
+    /// Measurement for one benchmark case, in seconds per iteration.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Sample {
+        /// Median of the batch means.
+        pub median: f64,
+        /// Fastest batch mean (lower bound on achievable time).
+        pub min: f64,
+        /// Mean over all batches.
+        pub mean: f64,
+        /// Total iterations executed during measurement.
+        pub iters: u64,
+    }
+
+    /// Times `f`, printing a one-line summary; returns the measurement.
+    ///
+    /// Adaptive: a short calibration run sizes batches to ~10 ms each, then
+    /// up to 30 batches run within a ~600 ms budget, so both sub-microsecond
+    /// kernels and multi-second training steps produce stable numbers.
+    pub fn bench(name: &str, mut f: impl FnMut()) -> Sample {
+        let sample = measure(&mut f);
+        println!(
+            "{name:<44} median {:>12}  min {:>12}  ({} iters)",
+            fmt_duration(sample.median),
+            fmt_duration(sample.min),
+            sample.iters,
+        );
+        sample
+    }
+
+    /// Times `f` without printing.
+    pub fn measure(f: &mut impl FnMut()) -> Sample {
+        // Calibrate: how many iterations fit in ~10 ms?
+        let t0 = Instant::now();
+        f();
+        let once = t0.elapsed().max(Duration::from_nanos(20));
+        let per_batch = (Duration::from_millis(10).as_secs_f64() / once.as_secs_f64())
+            .clamp(1.0, 1e7) as u64;
+
+        let budget = Duration::from_millis(600);
+        let start = Instant::now();
+        let mut batch_means = Vec::new();
+        let mut iters = 1u64; // the calibration call
+        while batch_means.len() < 30 && (batch_means.len() < 3 || start.elapsed() < budget) {
+            let t = Instant::now();
+            for _ in 0..per_batch {
+                f();
+            }
+            batch_means.push(t.elapsed().as_secs_f64() / per_batch as f64);
+            iters += per_batch;
+        }
+        batch_means.sort_by(f64::total_cmp);
+        Sample {
+            median: batch_means[batch_means.len() / 2],
+            min: batch_means[0],
+            mean: batch_means.iter().sum::<f64>() / batch_means.len() as f64,
+            iters,
+        }
+    }
+
+    /// Formats seconds as a human-readable duration (ns/µs/ms/s).
+    pub fn fmt_duration(secs: f64) -> String {
+        if secs < 1e-6 {
+            format!("{:.1} ns", secs * 1e9)
+        } else if secs < 1e-3 {
+            format!("{:.2} µs", secs * 1e6)
+        } else if secs < 1.0 {
+            format!("{:.2} ms", secs * 1e3)
+        } else {
+            format!("{:.3} s", secs)
+        }
+    }
+}
 
 /// Paper reference values used as the "paper" column in printed tables.
 pub mod paper {

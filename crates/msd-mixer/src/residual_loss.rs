@@ -1,6 +1,6 @@
 //! The Residual Loss (Sec. III-E, Eq. 6).
 //!
-//! `L_r = Σ relu(|a_{i,j}| − α/√L)² / (C(L−1))  +  Σ z²/(CL)`
+//! `L_r = Σ relu(|a_{i,j}| − α/√L) / (C(L−1))  +  Σ z²/(CL)`
 //!
 //! The first term pushes the residual's autocorrelation inside the classical
 //! white-noise band; the second minimises its magnitude so no energy is left

@@ -35,6 +35,26 @@ impl Linear {
         }
     }
 
+    /// Creates a linear layer initialised to the averaging map `W = 1/in_dim`
+    /// (zero bias), as in the reference LTSF-Linear implementation: the layer
+    /// starts out predicting the input mean, a sane seq→seq forecast, instead
+    /// of a random projection that gradient descent must first unlearn. This
+    /// matters at small step budgets — the same warm-start rationale as
+    /// [`Linear::zeroed`] for the decomposition stacks.
+    pub fn averaging(store: &mut ParamStore, name: &str, in_dim: usize, out_dim: usize) -> Self {
+        let w = store.register(
+            format!("{name}.w"),
+            Tensor::full(&[in_dim, out_dim], 1.0 / in_dim as f32),
+        );
+        let b = Some(store.register(format!("{name}.b"), Tensor::zeros(&[out_dim])));
+        Self {
+            w,
+            b,
+            in_dim,
+            out_dim,
+        }
+    }
+
     /// Creates a Xavier-initialised linear layer, optionally without bias.
     pub fn with_bias(
         store: &mut ParamStore,

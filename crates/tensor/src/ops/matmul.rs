@@ -1,34 +1,91 @@
 //! Matrix multiplication and the fused linear kernel.
 //!
 //! These are the hot loops of the whole reproduction: every MLP block in
-//! MSD-Mixer and every baseline reduces to `linear` over the last axis. The
-//! kernels are written i-k-j (accumulating rows of the output against rows of
-//! the right-hand matrix) so the inner loop is a contiguous axpy that the
-//! compiler auto-vectorises, and bounds checks are hoisted by slicing rows
-//! up front.
+//! MSD-Mixer and every baseline reduces to `linear` over the last axis. All
+//! products route through the blocked, packed SGEMM in [`crate::ops::gemm`],
+//! which parallelises over fixed row tiles (see [`crate::pool`]) and returns
+//! bit-identical results for every thread count. The transpose-aware
+//! variants [`Tensor::matmul_nt`] / [`Tensor::matmul_tn`] read the
+//! transposed operand through strides during packing, so backward passes
+//! never materialise a transposed copy.
 
+use crate::ops::gemm::sgemm_batched_strided;
 use crate::shape::numel;
 use crate::Tensor;
 
-/// `out[i][j] += sum_k a[i][k] * b[k][j]` for row-major `m×k · k×n` panels.
-#[inline]
-fn matmul_panel(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
-    debug_assert_eq!(a.len(), m * k);
-    debug_assert_eq!(b.len(), k * n);
-    debug_assert_eq!(out.len(), m * n);
-    for i in 0..m {
-        let a_row = &a[i * k..(i + 1) * k];
-        let out_row = &mut out[i * n..(i + 1) * n];
-        for (kk, &av) in a_row.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let b_row = &b[kk * n..(kk + 1) * n];
-            for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                *o += av * bv;
-            }
-        }
+/// Which operand of a product is stored transposed.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Layout {
+    /// `A[m,k] · B[k,n]`
+    Nn,
+    /// `A[m,k] · B[n,k]ᵀ`
+    Nt,
+    /// `A[k,m]ᵀ · B[k,n]`
+    Tn,
+}
+
+/// Shared driver for the three product layouts; handles 2-D, the
+/// `[..., m, k] · 2-D` broadcast, and equal-rank batched inputs.
+fn product(a: &Tensor, b: &Tensor, layout: Layout, name: &str) -> Tensor {
+    let (a_shape, b_shape) = (a.shape(), b.shape());
+    assert!(a_shape.len() >= 2, "{name} lhs must have rank >= 2, got {a_shape:?}");
+    let (al2, al1) = (a_shape[a_shape.len() - 2], a_shape[a_shape.len() - 1]);
+    // Logical (m, k) of the left operand.
+    let (m, k) = match layout {
+        Layout::Tn => (al1, al2),
+        _ => (al2, al1),
+    };
+
+    let rhs_2d = b_shape.len() == 2;
+    if !rhs_2d {
+        assert_eq!(
+            a_shape.len(),
+            b_shape.len(),
+            "batched {name} needs equal rank: {a_shape:?} vs {b_shape:?}"
+        );
+        assert_eq!(
+            &a_shape[..a_shape.len() - 2],
+            &b_shape[..b_shape.len() - 2],
+            "batched {name} batch dims: {a_shape:?} vs {b_shape:?}"
+        );
     }
+    let (bl2, bl1) = (b_shape[b_shape.len() - 2], b_shape[b_shape.len() - 1]);
+    // Logical (k, n) of the right operand.
+    let (k2, n) = match layout {
+        Layout::Nt => (bl1, bl2),
+        _ => (bl2, bl1),
+    };
+    assert_eq!(k, k2, "{name} inner dim: {a_shape:?} vs {b_shape:?}");
+
+    let batches = numel(&a_shape[..a_shape.len() - 2]);
+    let mut out_shape = a_shape[..a_shape.len() - 2].to_vec();
+    out_shape.extend_from_slice(&[m, n]);
+    let mut out = vec![0.0f32; batches * m * n];
+
+    let (a_rs, a_cs) = match layout {
+        Layout::Tn => (1, m),
+        _ => (k, 1),
+    };
+    let (b_rs, b_cs) = match layout {
+        Layout::Nt => (1, k),
+        _ => (n, 1),
+    };
+    sgemm_batched_strided(
+        batches,
+        m,
+        k,
+        n,
+        a.data(),
+        m * k,
+        a_rs,
+        a_cs,
+        b.data(),
+        if rhs_2d { 0 } else { k * n },
+        b_rs,
+        b_cs,
+        &mut out,
+    );
+    Tensor::from_vec(&out_shape, out)
 }
 
 impl Tensor {
@@ -44,61 +101,28 @@ impl Tensor {
     /// # Panics
     /// Panics on inner-dimension or batch-shape mismatch.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
-        let (a_shape, b_shape) = (self.shape(), other.shape());
-        assert!(a_shape.len() >= 2, "matmul lhs must have rank >= 2, got {:?}", a_shape);
-        let (m, k) = (a_shape[a_shape.len() - 2], a_shape[a_shape.len() - 1]);
+        product(self, other, Layout::Nn, "matmul")
+    }
 
-        if b_shape.len() == 2 {
-            let (k2, n) = (b_shape[0], b_shape[1]);
-            assert_eq!(k, k2, "matmul inner dim: {:?} vs {:?}", a_shape, b_shape);
-            let batches = numel(&a_shape[..a_shape.len() - 2]);
-            let mut out_shape = a_shape[..a_shape.len() - 2].to_vec();
-            out_shape.extend_from_slice(&[m, n]);
-            let mut out = vec![0.0f32; batches * m * n];
-            for bi in 0..batches {
-                matmul_panel(
-                    &self.data()[bi * m * k..(bi + 1) * m * k],
-                    other.data(),
-                    &mut out[bi * m * n..(bi + 1) * m * n],
-                    m,
-                    k,
-                    n,
-                );
-            }
-            return Tensor::from_vec(&out_shape, out);
-        }
+    /// Matrix product with a transposed right-hand side: `A · Bᵀ`.
+    ///
+    /// `self` is `[..., m, k]`; `other` is `[n, k]` (broadcast over leading
+    /// batches) or `[..., n, k]` (equal-rank batched); the result is
+    /// `[..., m, n]`. Equivalent to `self.matmul(&other.transpose_last2())`
+    /// but reads `other` through strides instead of materialising the
+    /// transpose — the fast path for `dX = dY · Wᵀ` in backward passes.
+    pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
+        product(self, other, Layout::Nt, "matmul_nt")
+    }
 
-        assert_eq!(
-            a_shape.len(),
-            b_shape.len(),
-            "batched matmul needs equal rank: {:?} vs {:?}",
-            a_shape,
-            b_shape
-        );
-        assert_eq!(
-            &a_shape[..a_shape.len() - 2],
-            &b_shape[..b_shape.len() - 2],
-            "batched matmul batch dims: {:?} vs {:?}",
-            a_shape,
-            b_shape
-        );
-        let (k2, n) = (b_shape[b_shape.len() - 2], b_shape[b_shape.len() - 1]);
-        assert_eq!(k, k2, "matmul inner dim: {:?} vs {:?}", a_shape, b_shape);
-        let batches = numel(&a_shape[..a_shape.len() - 2]);
-        let mut out_shape = a_shape[..a_shape.len() - 2].to_vec();
-        out_shape.extend_from_slice(&[m, n]);
-        let mut out = vec![0.0f32; batches * m * n];
-        for bi in 0..batches {
-            matmul_panel(
-                &self.data()[bi * m * k..(bi + 1) * m * k],
-                &other.data()[bi * k * n..(bi + 1) * k * n],
-                &mut out[bi * m * n..(bi + 1) * m * n],
-                m,
-                k,
-                n,
-            );
-        }
-        Tensor::from_vec(&out_shape, out)
+    /// Matrix product with a transposed left-hand side: `Aᵀ · B`.
+    ///
+    /// `self` is `[..., k, m]`; `other` is `[k, n]` (broadcast) or
+    /// `[..., k, n]` (equal-rank batched); the result is `[..., m, n]`.
+    /// Equivalent to `self.transpose_last2().matmul(other)` without the
+    /// materialised transpose — the fast path for `dW = Xᵀ · dY`.
+    pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
+        product(self, other, Layout::Tn, "matmul_tn")
     }
 
     /// Fused affine map over the last axis:
@@ -119,7 +143,18 @@ impl Tensor {
         let out_dim = weight.shape()[1];
         let rows = self.len() / in_dim;
         let mut out = vec![0.0f32; rows * out_dim];
-        matmul_panel(self.data(), weight.data(), &mut out, rows, in_dim, out_dim);
+        crate::ops::gemm::sgemm_strided(
+            rows,
+            in_dim,
+            out_dim,
+            self.data(),
+            in_dim,
+            1,
+            weight.data(),
+            out_dim,
+            1,
+            &mut out,
+        );
         if let Some(b) = bias {
             assert_eq!(b.shape(), &[out_dim], "linear bias shape");
             let bd = b.data();
@@ -135,7 +170,8 @@ impl Tensor {
     }
 
     /// Swaps the last two axes (materialising the result). A common companion
-    /// to [`Tensor::matmul`] in backward passes.
+    /// to [`Tensor::matmul`] in layout code; backward passes use
+    /// [`Tensor::matmul_nt`] / [`Tensor::matmul_tn`] instead.
     pub fn transpose_last2(&self) -> Tensor {
         let nd = self.ndim();
         assert!(nd >= 2, "transpose_last2 needs rank >= 2");
@@ -189,6 +225,35 @@ mod tests {
         let a = Tensor::zeros(&[2, 3]);
         let b = Tensor::zeros(&[4, 2]);
         let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn matmul_nt_matches_materialised_transpose() {
+        let mut rng = crate::rng::Rng::seed_from(11);
+        let a = Tensor::randn(&[3, 5, 7], 1.0, &mut rng);
+        let b = Tensor::randn(&[4, 7], 1.0, &mut rng);
+        assert_eq!(a.matmul_nt(&b), a.matmul(&b.transpose_last2()));
+        let bb = Tensor::randn(&[3, 4, 7], 1.0, &mut rng);
+        assert_eq!(a.matmul_nt(&bb), a.matmul(&bb.transpose_last2()));
+    }
+
+    #[test]
+    fn matmul_tn_matches_materialised_transpose() {
+        let mut rng = crate::rng::Rng::seed_from(12);
+        let a = Tensor::randn(&[3, 7, 5], 1.0, &mut rng);
+        let b = Tensor::randn(&[3, 7, 4], 1.0, &mut rng);
+        assert_eq!(a.matmul_tn(&b), a.transpose_last2().matmul(&b));
+        let a2 = Tensor::randn(&[7, 5], 1.0, &mut rng);
+        let b2 = Tensor::randn(&[7, 4], 1.0, &mut rng);
+        assert_eq!(a2.matmul_tn(&b2), a2.transpose_last2().matmul(&b2));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dim")]
+    fn matmul_nt_rejects_mismatched_inner() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 2]);
+        let _ = a.matmul_nt(&b);
     }
 
     #[test]

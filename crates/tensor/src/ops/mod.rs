@@ -5,6 +5,7 @@
 //! across the submodules below.
 
 mod elementwise;
+pub mod gemm;
 mod layout;
 mod matmul;
 mod reduce;

@@ -1,38 +1,84 @@
 //! Deterministic random number generation.
 //!
-//! Wraps `rand`'s `StdRng` and adds Box–Muller Gaussian sampling so the
-//! workspace does not need an extra distribution crate.
-
-use rand::rngs::StdRng;
-use rand::{Rng as _, SeedableRng};
+//! In-tree xoshiro256++ generator (Blackman & Vigna) seeded through
+//! SplitMix64, plus Box–Muller Gaussian sampling, so the workspace carries
+//! no external dependency for randomness and builds fully offline. Equal
+//! seeds give equal streams on every platform.
 
 /// Seedable RNG used throughout the workspace for parameter initialisation,
 /// data generation, shuffling, and dropout masks.
 pub struct Rng {
-    inner: StdRng,
+    /// xoshiro256++ state, never all-zero (guaranteed by SplitMix64 seeding).
+    s: [u64; 4],
     /// Second Box–Muller sample cached between `normal()` calls.
     spare: Option<f32>,
+}
+
+/// One step of SplitMix64; used only to expand the 64-bit seed into the
+/// 256-bit xoshiro state, as recommended by the xoshiro authors.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
 }
 
 impl Rng {
     /// Creates an RNG from a 64-bit seed. Equal seeds give equal streams.
     pub fn seed_from(seed: u64) -> Self {
-        Self {
-            inner: StdRng::seed_from_u64(seed),
-            spare: None,
+        let mut sm = seed;
+        // SplitMix64 output is equidistributed, so the state is all-zero
+        // with probability 2^-256 — i.e. never in practice — but guard
+        // anyway to keep the generator's invariant unconditional.
+        let mut s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        if s == [0; 4] {
+            s[0] = 0x9E3779B97F4A7C15;
         }
+        Self { s, spare: None }
+    }
+
+    /// Next raw 64-bit output of xoshiro256++.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 
     /// Uniform sample in `[0, 1)`.
     #[inline]
     pub fn uniform(&mut self) -> f32 {
-        self.inner.gen::<f32>()
+        // Top 24 bits -> all representable multiples of 2^-24 in [0, 1).
+        (self.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
     }
 
     /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
     #[inline]
     pub fn below(&mut self, n: usize) -> usize {
-        self.inner.gen_range(0..n)
+        assert!(n > 0, "Rng::below(0)");
+        // Lemire's multiply-shift: unbiased enough for shuffles/sampling
+        // (bias < 2^-64 relative), branch-free, and deterministic.
+        (((self.next_u64() as u128) * (n as u128)) >> 64) as usize
     }
 
     /// Standard normal sample via the Box–Muller transform.
@@ -74,6 +120,43 @@ mod tests {
     }
 
     #[test]
+    fn xoshiro_reference_vector() {
+        // xoshiro256++ with state {1, 2, 3, 4} produces this sequence
+        // (first outputs of the reference C implementation).
+        let mut rng = Rng::seed_from(0);
+        rng.s = [1, 2, 3, 4];
+        rng.spare = None;
+        let expect: [u64; 5] = [
+            41943041,
+            58720359,
+            3588806011781223,
+            3591011842654386,
+            9228616714210784205,
+        ];
+        for e in expect {
+            assert_eq!(rng.next_u64(), e);
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_give_distinct_streams() {
+        let mut a = Rng::seed_from(1);
+        let mut b = Rng::seed_from(2);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn uniform_in_unit_interval() {
+        let mut rng = Rng::seed_from(11);
+        for _ in 0..10_000 {
+            let u = rng.uniform();
+            assert!((0.0..1.0).contains(&u), "u = {u}");
+        }
+    }
+
+    #[test]
     fn normal_moments() {
         let mut rng = Rng::seed_from(3);
         let n = 50_000;
@@ -90,6 +173,16 @@ mod tests {
         for _ in 0..1000 {
             assert!(rng.below(7) < 7);
         }
+    }
+
+    #[test]
+    fn below_covers_all_residues() {
+        let mut rng = Rng::seed_from(13);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            seen[rng.below(7)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "seen {seen:?}");
     }
 
     #[test]

@@ -1,49 +1,57 @@
 //! Property-based tests for the tensor substrate.
+//!
+//! Cases are generated from the in-tree [`msd_tensor::rng::Rng`] by looping
+//! over deterministic seeds, so the properties run fully offline with no
+//! external property-testing dependency.
 
-use msd_tensor::{allclose, strides_for, Tensor};
-use proptest::prelude::*;
+use msd_tensor::{allclose, rng::Rng, strides_for, Tensor};
 
-/// A strategy for small shapes of rank 1..=4 with total size <= 256.
-fn small_shape() -> impl Strategy<Value = Vec<usize>> {
-    prop::collection::vec(1usize..6, 1..5)
+/// A deterministic small shape of rank 1..=4 with dims in 1..6.
+fn small_shape(rng: &mut Rng) -> Vec<usize> {
+    let rank = 1 + rng.below(4);
+    (0..rank).map(|_| 1 + rng.below(5)).collect()
 }
 
-fn tensor_for(shape: Vec<usize>) -> impl Strategy<Value = Tensor> {
+fn any_tensor(rng: &mut Rng) -> Tensor {
+    let shape = small_shape(rng);
     let n: usize = shape.iter().product();
-    prop::collection::vec(-100.0f32..100.0, n).prop_map(move |data| Tensor::from_vec(&shape, data))
+    let data: Vec<f32> = (0..n).map(|_| 200.0 * rng.uniform() - 100.0).collect();
+    Tensor::from_vec(&shape, data)
 }
 
-fn any_tensor() -> impl Strategy<Value = Tensor> {
-    small_shape().prop_flat_map(tensor_for)
-}
-
-proptest! {
-    #[test]
-    fn reshape_flatten_round_trip(t in any_tensor()) {
+#[test]
+fn reshape_flatten_round_trip() {
+    for seed in 0..64 {
+        let mut rng = Rng::seed_from(seed);
+        let t = any_tensor(&mut rng);
         let flat = t.reshape(&[t.len()]);
         let back = flat.reshape(t.shape());
-        prop_assert_eq!(back, t);
+        assert_eq!(back, t);
     }
+}
 
-    #[test]
-    fn permute_then_inverse_is_identity(t in any_tensor(), seed in any::<u64>()) {
+#[test]
+fn permute_then_inverse_is_identity() {
+    for seed in 0..64 {
+        let mut rng = Rng::seed_from(seed);
+        let t = any_tensor(&mut rng);
         let nd = t.ndim();
         let mut perm: Vec<usize> = (0..nd).collect();
-        // Derive a deterministic permutation from the seed.
-        let mut s = seed;
-        for i in (1..nd).rev() {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            let j = (s >> 33) as usize % (i + 1);
-            perm.swap(i, j);
-        }
+        rng.shuffle(&mut perm);
         let mut inv = vec![0usize; nd];
-        for (i, &p) in perm.iter().enumerate() { inv[p] = i; }
+        for (i, &p) in perm.iter().enumerate() {
+            inv[p] = i;
+        }
         let round = t.permute(&perm).permute(&inv);
-        prop_assert_eq!(round, t);
+        assert_eq!(round, t);
     }
+}
 
-    #[test]
-    fn permute_preserves_multiset(t in any_tensor()) {
+#[test]
+fn permute_preserves_multiset() {
+    for seed in 0..64 {
+        let mut rng = Rng::seed_from(seed);
+        let t = any_tensor(&mut rng);
         let nd = t.ndim();
         let perm: Vec<usize> = (0..nd).rev().collect();
         let p = t.permute(&perm);
@@ -51,30 +59,37 @@ proptest! {
         let mut b = p.data().to_vec();
         a.sort_by(f32::total_cmp);
         b.sort_by(f32::total_cmp);
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
     }
+}
 
-    #[test]
-    fn add_commutes(shape in small_shape(), seed in 0u64..1000) {
-        let n: usize = shape.iter().product();
-        let mut rng = msd_tensor::rng::Rng::seed_from(seed);
+#[test]
+fn add_commutes() {
+    for seed in 0..64 {
+        let mut rng = Rng::seed_from(seed);
+        let shape = small_shape(&mut rng);
         let a = Tensor::randn(&shape, 1.0, &mut rng);
         let b = Tensor::randn(&shape, 1.0, &mut rng);
-        prop_assert!(allclose(&a.add(&b), &b.add(&a), 1e-6));
-        let _ = n;
+        assert!(allclose(&a.add(&b), &b.add(&a), 1e-6));
     }
+}
 
-    #[test]
-    fn sub_then_add_round_trips(shape in small_shape(), seed in 0u64..1000) {
-        let mut rng = msd_tensor::rng::Rng::seed_from(seed);
+#[test]
+fn sub_then_add_round_trips() {
+    for seed in 0..64 {
+        let mut rng = Rng::seed_from(seed);
+        let shape = small_shape(&mut rng);
         let a = Tensor::randn(&shape, 1.0, &mut rng);
         let b = Tensor::randn(&shape, 1.0, &mut rng);
-        prop_assert!(allclose(&a.sub(&b).add(&b), &a, 1e-4));
+        assert!(allclose(&a.sub(&b).add(&b), &a, 1e-4));
     }
+}
 
-    #[test]
-    fn matmul_matches_naive(m in 1usize..5, k in 1usize..5, n in 1usize..5, seed in 0u64..1000) {
-        let mut rng = msd_tensor::rng::Rng::seed_from(seed);
+#[test]
+fn matmul_matches_naive() {
+    for seed in 0..128 {
+        let mut rng = Rng::seed_from(seed);
+        let (m, k, n) = (1 + rng.below(4), 1 + rng.below(4), 1 + rng.below(4));
         let a = Tensor::randn(&[m, k], 1.0, &mut rng);
         let b = Tensor::randn(&[k, n], 1.0, &mut rng);
         let c = a.matmul(&b);
@@ -84,71 +99,95 @@ proptest! {
                 for kk in 0..k {
                     acc += a.at(&[i, kk]) * b.at(&[kk, j]);
                 }
-                prop_assert!((c.at(&[i, j]) - acc).abs() < 1e-3);
+                assert!((c.at(&[i, j]) - acc).abs() < 1e-3);
             }
         }
     }
+}
 
-    #[test]
-    fn matmul_distributes_over_add(seed in 0u64..1000) {
-        let mut rng = msd_tensor::rng::Rng::seed_from(seed);
+#[test]
+fn matmul_distributes_over_add() {
+    for seed in 0..64 {
+        let mut rng = Rng::seed_from(seed);
         let a = Tensor::randn(&[3, 4], 1.0, &mut rng);
         let b = Tensor::randn(&[4, 2], 1.0, &mut rng);
         let c = Tensor::randn(&[4, 2], 1.0, &mut rng);
         let lhs = a.matmul(&b.add(&c));
         let rhs = a.matmul(&b).add(&a.matmul(&c));
-        prop_assert!(allclose(&lhs, &rhs, 1e-3));
+        assert!(allclose(&lhs, &rhs, 1e-3));
     }
+}
 
-    #[test]
-    fn linear_equals_matmul_on_2d(seed in 0u64..1000) {
-        let mut rng = msd_tensor::rng::Rng::seed_from(seed);
+#[test]
+fn linear_equals_matmul_on_2d() {
+    for seed in 0..64 {
+        let mut rng = Rng::seed_from(seed);
         let x = Tensor::randn(&[5, 3], 1.0, &mut rng);
         let w = Tensor::randn(&[3, 4], 1.0, &mut rng);
-        prop_assert!(allclose(&x.linear(&w, None), &x.matmul(&w), 1e-4));
+        assert!(allclose(&x.linear(&w, None), &x.matmul(&w), 1e-4));
     }
+}
 
-    #[test]
-    fn pad_then_narrow_identity(t in any_tensor(), before in 0usize..4, after in 0usize..4) {
+#[test]
+fn pad_then_narrow_identity() {
+    for seed in 0..64 {
+        let mut rng = Rng::seed_from(seed);
+        let t = any_tensor(&mut rng);
+        let (before, after) = (rng.below(4), rng.below(4));
         let axis = t.ndim() - 1;
         let padded = t.pad_axis(axis, before, after);
-        prop_assert_eq!(padded.narrow(axis, before, t.shape()[axis]), t);
+        assert_eq!(padded.narrow(axis, before, t.shape()[axis]), t);
     }
+}
 
-    #[test]
-    fn sum_axis_conserves_total(t in any_tensor()) {
+#[test]
+fn sum_axis_conserves_total() {
+    for seed in 0..64 {
+        let mut rng = Rng::seed_from(seed);
+        let t = any_tensor(&mut rng);
         for axis in 0..t.ndim() {
             let s = t.sum_axis(axis);
-            prop_assert!((s.sum_all() - t.sum_all()).abs() <= 1e-2 + 1e-4 * t.sum_all().abs());
+            assert!((s.sum_all() - t.sum_all()).abs() <= 1e-2 + 1e-4 * t.sum_all().abs());
         }
     }
+}
 
-    #[test]
-    fn concat_then_narrow_recovers_parts(seed in 0u64..1000, n1 in 1usize..4, n2 in 1usize..4) {
-        let mut rng = msd_tensor::rng::Rng::seed_from(seed);
+#[test]
+fn concat_then_narrow_recovers_parts() {
+    for seed in 0..64 {
+        let mut rng = Rng::seed_from(seed);
+        let (n1, n2) = (1 + rng.below(3), 1 + rng.below(3));
         let a = Tensor::randn(&[2, n1], 1.0, &mut rng);
         let b = Tensor::randn(&[2, n2], 1.0, &mut rng);
         let c = Tensor::concat(&[&a, &b], 1);
-        prop_assert_eq!(c.narrow(1, 0, n1), a);
-        prop_assert_eq!(c.narrow(1, n1, n2), b);
+        assert_eq!(c.narrow(1, 0, n1), a);
+        assert_eq!(c.narrow(1, n1, n2), b);
     }
+}
 
-    #[test]
-    fn strides_match_linear_layout(shape in small_shape()) {
+#[test]
+fn strides_match_linear_layout() {
+    for seed in 0..64 {
+        let mut rng = Rng::seed_from(seed);
+        let shape = small_shape(&mut rng);
         let strides = strides_for(&shape);
         // Walking the last axis moves by 1; walking axis i moves by the
         // product of inner extents.
-        prop_assert_eq!(*strides.last().unwrap(), 1);
+        assert_eq!(*strides.last().unwrap(), 1);
         for i in 0..shape.len() - 1 {
-            prop_assert_eq!(strides[i], strides[i + 1] * shape[i + 1]);
+            assert_eq!(strides[i], strides[i + 1] * shape[i + 1]);
         }
     }
+}
 
-    #[test]
-    fn gelu_between_relu_and_identity_for_positive(x in 0.0f32..10.0) {
+#[test]
+fn gelu_between_relu_and_identity_for_positive() {
+    for seed in 0..256 {
+        let mut rng = Rng::seed_from(seed);
+        let x = 10.0 * rng.uniform();
         let t = Tensor::scalar(x);
         let g = t.gelu().item();
-        prop_assert!(g <= x + 1e-5);
-        prop_assert!(g >= 0.5 * x - 1e-5 || x < 1.0);
+        assert!(g <= x + 1e-5);
+        assert!(g >= 0.5 * x - 1e-5 || x < 1.0);
     }
 }

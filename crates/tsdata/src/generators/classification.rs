@@ -65,9 +65,15 @@ impl ClassSpec {
             /// argument.
             channel_lag: f32,
         }
+        // Class frequencies are spaced geometrically: the discriminative
+        // signal in frequency-derived statistics scales with the frequency
+        // *ratio* between classes (within-class amplitude/frequency jitter is
+        // multiplicative), so additive spacing would make high-k classes
+        // progressively harder to tell apart. The ratio is capped so the top
+        // class's first harmonic stays below Nyquist for every registry spec.
         let protos: Vec<Proto> = (0..self.classes)
             .map(|k| Proto {
-                base_freq: 2.0 + 0.9 * k as f32 + 0.4 * rng.uniform(),
+                base_freq: 2.0 * 1.3f32.powi(k as i32) * (1.0 + 0.1 * rng.uniform()),
                 harmonic: 0.2 + 0.6 * rng.uniform(),
                 envelope_period: self.series_len as f32 / (1.0 + (k % 3) as f32),
                 channel_gain: (0..self.channels)

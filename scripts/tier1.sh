@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate: the exact build + test sequence CI runs.
+#
+# The workspace is hermetic — no registry access is needed, so everything
+# runs with --offline to catch any accidentally reintroduced dependency.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --workspace --release --offline
+cargo test --workspace -q --offline
