@@ -318,6 +318,22 @@ impl Gradients {
             .sum::<f32>()
             .sqrt()
     }
+
+    /// Whether every gradient element is finite (no NaN/±inf anywhere).
+    ///
+    /// Cheaper than [`Gradients::global_norm`] as a poison check: it
+    /// short-circuits on the first bad element and cannot be fooled by
+    /// squared-sum overflow of large-but-finite gradients.
+    pub fn all_finite(&self) -> bool {
+        self.by_param
+            .iter()
+            .all(|(_, g)| g.data().iter().all(|v| v.is_finite()))
+    }
+
+    /// L2 norm of one parameter's gradient, if it received one.
+    pub fn param_norm(&self, id: ParamId) -> Option<f32> {
+        self.get(id).map(|g| g.sq_norm().sqrt())
+    }
 }
 
 /// Dispatches the adjoint computation for one node. Returns one optional
@@ -584,5 +600,33 @@ mod tests {
         let grads = g.backward(loss);
         // grad = [1, 1]; norm = sqrt(2)
         assert!((grads.global_norm() - 2f32.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn all_finite_detects_nan_gradient() {
+        let g = Graph::new();
+        let x = g.param(0, Tensor::from_vec(&[2], vec![3.0, 4.0]));
+        let loss = g.sum_all(g.scale(x, f32::NAN));
+        let grads = g.backward(loss);
+        assert!(!grads.all_finite());
+        assert!(grads.global_norm().is_nan());
+
+        let g = Graph::new();
+        let x = g.param(0, Tensor::from_vec(&[2], vec![3.0, 4.0]));
+        let loss = g.sum_all(x);
+        assert!(g.backward(loss).all_finite());
+    }
+
+    #[test]
+    fn param_norm_is_per_parameter() {
+        let g = Graph::new();
+        let a = g.param(0, Tensor::from_vec(&[2], vec![1.0, 1.0]));
+        let b = g.param(1, Tensor::from_vec(&[1], vec![1.0]));
+        let loss = g.add(g.sum_all(g.scale(a, 3.0)), g.sum_all(b));
+        let grads = g.backward(loss);
+        // grad_a = [3, 3] → norm 3√2; grad_b = [1] → norm 1; param 2 absent.
+        assert!((grads.param_norm(0).unwrap() - 3.0 * 2f32.sqrt()).abs() < 1e-6);
+        assert!((grads.param_norm(1).unwrap() - 1.0).abs() < 1e-6);
+        assert!(grads.param_norm(2).is_none());
     }
 }

@@ -152,7 +152,12 @@ pub mod paper {
     ];
 }
 
-/// Prints the shared bench banner (scale, cache dir).
+/// Prints the shared bench banner (scale, cache dir, telemetry sink).
+///
+/// Every table bench funnels its training runs through the harness's
+/// `fit`, which honours `MSD_TELEMETRY`: when the variable is set, the
+/// banner says where the JSONL event log of those runs is going, so an
+/// instrumented bench run is visibly instrumented.
 pub fn banner(table: &str) -> msd_harness::Scale {
     let scale = msd_harness::Scale::from_env();
     println!();
@@ -161,6 +166,11 @@ pub fn banner(table: &str) -> msd_harness::Scale {
         scale.name(),
         msd_harness::experiments::cache_dir().display()
     );
+    if let Ok(path) = std::env::var("MSD_TELEMETRY") {
+        if !path.is_empty() {
+            println!("### training telemetry (JSONL): {path} ###");
+        }
+    }
     println!();
     scale
 }

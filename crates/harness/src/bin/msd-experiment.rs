@@ -13,17 +13,47 @@ use msd_harness::Scale;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: msd-experiment <family>\n\
+        "usage: msd-experiment <family> [options]\n\
          families: long-term | short-term | imputation | anomaly |\n\
-                   classification | ablation | case-study | all\n\
+                   classification | ablation | case-study | smoke | all\n\
+         options:\n\
+           --telemetry <path>   write JSONL training telemetry (= MSD_TELEMETRY)\n\
+           --max-retries <n>    divergence retries before abort (= MSD_MAX_RETRIES)\n\
+           --lr-backoff <f>     lr multiplier per rollback (= MSD_LR_BACKOFF)\n\
          scale via MSD_SCALE=smoke|fast|full (default fast);\n\
-         results cached under target/msd-results/"
+         results cached under target/msd-results/;\n\
+         'smoke' trains a tiny model (with one injected NaN batch) to\n\
+         exercise the telemetry + recovery path in seconds"
     );
     std::process::exit(2)
 }
 
 fn main() {
-    let family = std::env::args().nth(1).unwrap_or_else(|| usage());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut family: Option<String> = None;
+    // Flags translate to the env vars the training runtime reads, so the
+    // experiment runners (which construct TrainConfig internally) pick
+    // them up without plumbing.
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--telemetry" => match it.next() {
+                Some(v) => std::env::set_var("MSD_TELEMETRY", v),
+                None => usage(),
+            },
+            "--max-retries" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(v) => std::env::set_var("MSD_MAX_RETRIES", v.to_string()),
+                None => usage(),
+            },
+            "--lr-backoff" => match it.next().and_then(|v| v.parse::<f32>().ok()) {
+                Some(v) => std::env::set_var("MSD_LR_BACKOFF", v.to_string()),
+                None => usage(),
+            },
+            f if !f.starts_with('-') && family.is_none() => family = Some(f.to_string()),
+            _ => usage(),
+        }
+    }
+    let family = family.unwrap_or_else(|| usage());
     let scale = Scale::from_env();
     eprintln!("running '{family}' at scale '{}'", scale.name());
     match family.as_str() {
@@ -34,6 +64,7 @@ fn main() {
         "classification" => run_classification(scale),
         "ablation" => run_ablation(scale),
         "case-study" => run_case_study(scale),
+        "smoke" => run_smoke(),
         "all" => {
             run_long_term(scale);
             run_short_term(scale);
@@ -45,6 +76,88 @@ fn main() {
         }
         _ => usage(),
     }
+}
+
+/// A seconds-long end-to-end check of the training runtime: trains a tiny
+/// DLinear forecaster on a synthetic sine with one NaN-poisoned batch
+/// injected mid-run, so the emitted telemetry (honouring `MSD_TELEMETRY`
+/// or `--telemetry`) demonstrates the full recovery path: non-finite
+/// detection, rollback, optimiser reset, lr backoff, and a finished run.
+fn run_smoke() {
+    use msd_harness::{fit, BatchSource, ModelSpec, TrainConfig};
+    use msd_nn::{ParamStore, Task};
+    use msd_tensor::{rng::Rng, Tensor};
+
+    struct SmokeSource {
+        calls: std::cell::Cell<usize>,
+    }
+
+    impl BatchSource for SmokeSource {
+        fn len(&self) -> usize {
+            128
+        }
+
+        fn batch(&self, indices: &[usize]) -> (msd_tensor::Tensor, msd_mixer::Target) {
+            let n = indices.len();
+            let call = self.calls.get();
+            self.calls.set(call + 1);
+            let mut x = Tensor::zeros(&[n, 1, 24]);
+            let mut y = Tensor::zeros(&[n, 1, 8]);
+            for (b, &i) in indices.iter().enumerate() {
+                for t in 0..24 {
+                    x.data_mut()[b * 24 + t] = ((i + t) as f32 / 4.0).sin();
+                }
+                for t in 0..8 {
+                    y.data_mut()[b * 8 + t] = ((i + 24 + t) as f32 / 4.0).sin();
+                }
+            }
+            if call == 5 {
+                x.data_mut()[0] = f32::NAN;
+            }
+            (x, msd_mixer::Target::Series(y))
+        }
+    }
+
+    let src = SmokeSource {
+        calls: std::cell::Cell::new(0),
+    };
+    let mut store = ParamStore::new();
+    let mut rng = Rng::seed_from(7);
+    let model = ModelSpec::DLinear.build(
+        &mut store,
+        &mut rng,
+        1,
+        24,
+        Task::Forecast { horizon: 8 },
+        8,
+    );
+    let report = fit(
+        &model,
+        &mut store,
+        &src,
+        None,
+        &TrainConfig {
+            epochs: 3,
+            batch_size: 16,
+            lr: 5e-3,
+            ..TrainConfig::default()
+        },
+    );
+    println!(
+        "smoke,epochs={},skipped={},rollbacks={},aborted={},final_loss={:.5}",
+        report.epochs_run,
+        report.skipped_batches,
+        report.rollbacks,
+        report.aborted.is_some(),
+        report.train_losses.last().copied().unwrap_or(f32::NAN),
+    );
+    assert_eq!(report.skipped_batches, 1, "smoke run must hit the injected NaN");
+    assert_eq!(report.rollbacks, 1, "smoke run must recover via rollback");
+    assert!(report.aborted.is_none(), "smoke run must not abort");
+    assert!(
+        report.train_losses.last().unwrap().is_finite(),
+        "smoke run diverged"
+    );
 }
 
 fn run_long_term(scale: Scale) {

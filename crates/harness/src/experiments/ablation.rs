@@ -108,17 +108,19 @@ pub fn results(scale: Scale) -> Vec<AblationRow> {
                 r.acc.to_string(),
             ]
         },
-        |f| AblationRow {
-            variant: f[0].clone(),
-            long_mse: f[1].parse().unwrap(),
-            long_mae: f[2].parse().unwrap(),
-            smape: f[3].parse().unwrap(),
-            mase: f[4].parse().unwrap(),
-            owa: f[5].parse().unwrap(),
-            imp_mse: f[6].parse().unwrap(),
-            imp_mae: f[7].parse().unwrap(),
-            f1: f[8].parse().unwrap(),
-            acc: f[9].parse().unwrap(),
+        |f| {
+            Some(AblationRow {
+                variant: f.first()?.clone(),
+                long_mse: f.get(1)?.parse().ok()?,
+                long_mae: f.get(2)?.parse().ok()?,
+                smape: f.get(3)?.parse().ok()?,
+                mase: f.get(4)?.parse().ok()?,
+                owa: f.get(5)?.parse().ok()?,
+                imp_mse: f.get(6)?.parse().ok()?,
+                imp_mae: f.get(7)?.parse().ok()?,
+                f1: f.get(8)?.parse().ok()?,
+                acc: f.get(9)?.parse().ok()?,
+            })
         },
         || {
             Variant::ALL

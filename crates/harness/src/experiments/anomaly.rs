@@ -125,12 +125,14 @@ pub fn results(scale: Scale) -> Vec<AnomalyRow> {
                 r.f1.to_string(),
             ]
         },
-        |f| AnomalyRow {
-            dataset: f[0].clone(),
-            model: f[1].clone(),
-            precision: f[2].parse().unwrap(),
-            recall: f[3].parse().unwrap(),
-            f1: f[4].parse().unwrap(),
+        |f| {
+            Some(AnomalyRow {
+                dataset: f.first()?.clone(),
+                model: f.get(1)?.clone(),
+                precision: f.get(2)?.parse().ok()?,
+                recall: f.get(3)?.parse().ok()?,
+                f1: f.get(4)?.parse().ok()?,
+            })
         },
         || {
             let mut rows = Vec::new();

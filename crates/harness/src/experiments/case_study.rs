@@ -119,16 +119,19 @@ pub fn results(scale: Scale) -> Vec<CaseStudyResult> {
             f.push(r.explained_energy.to_string());
             f
         },
-        |f| CaseStudyResult {
-            model: f[0].clone(),
-            component_stds: f[1]
-                .split(';')
-                .filter(|s| !s.is_empty())
-                .map(|s| s.parse().unwrap())
-                .collect(),
-            residual_energy: f[2].parse().unwrap(),
-            residual_acf_violation: f[3].parse().unwrap(),
-            explained_energy: f[4].parse().unwrap(),
+        |f| {
+            Some(CaseStudyResult {
+                model: f.first()?.clone(),
+                component_stds: f
+                    .get(1)?
+                    .split(';')
+                    .filter(|s| !s.is_empty())
+                    .map(|s| s.parse().ok())
+                    .collect::<Option<Vec<_>>>()?,
+                residual_energy: f.get(2)?.parse().ok()?,
+                residual_acf_violation: f.get(3)?.parse().ok()?,
+                explained_energy: f.get(4)?.parse().ok()?,
+            })
         },
         || {
             [Variant::Full, Variant::NoResidualLoss]

@@ -59,10 +59,12 @@ pub fn results(scale: Scale) -> Vec<ClassificationRow> {
         |r: &ClassificationRow| {
             vec![r.dataset.clone(), r.model.clone(), r.accuracy.to_string()]
         },
-        |f| ClassificationRow {
-            dataset: f[0].clone(),
-            model: f[1].clone(),
-            accuracy: f[2].parse().unwrap(),
+        |f| {
+            Some(ClassificationRow {
+                dataset: f.first()?.clone(),
+                model: f.get(1)?.clone(),
+                accuracy: f.get(2)?.parse().ok()?,
+            })
         },
         || {
             let mut rows = Vec::new();

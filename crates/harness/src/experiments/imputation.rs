@@ -94,12 +94,14 @@ pub fn results(scale: Scale) -> Vec<ImputationRow> {
                 r.mae.to_string(),
             ]
         },
-        |f| ImputationRow {
-            dataset: f[0].clone(),
-            ratio: f[1].parse().unwrap(),
-            model: f[2].clone(),
-            mse: f[3].parse().unwrap(),
-            mae: f[4].parse().unwrap(),
+        |f| {
+            Some(ImputationRow {
+                dataset: f.first()?.clone(),
+                ratio: f.get(1)?.parse().ok()?,
+                model: f.get(2)?.clone(),
+                mse: f.get(3)?.parse().ok()?,
+                mae: f.get(4)?.parse().ok()?,
+            })
         },
         || {
             let mut rows = Vec::new();

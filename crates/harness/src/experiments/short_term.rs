@@ -196,13 +196,15 @@ pub fn results(scale: Scale) -> Vec<ShortTermRow> {
                 r.weight.to_string(),
             ]
         },
-        |f| ShortTermRow {
-            subset: f[0].clone(),
-            model: f[1].clone(),
-            smape: f[2].parse().unwrap(),
-            mase: f[3].parse().unwrap(),
-            owa: f[4].parse().unwrap(),
-            weight: f[5].parse().unwrap(),
+        |f| {
+            Some(ShortTermRow {
+                subset: f.first()?.clone(),
+                model: f.get(1)?.clone(),
+                smape: f.get(2)?.parse().ok()?,
+                mase: f.get(3)?.parse().ok()?,
+                owa: f.get(4)?.parse().ok()?,
+                weight: f.get(5)?.parse().ok()?,
+            })
         },
         || {
             let mut rows = Vec::new();

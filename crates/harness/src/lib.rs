@@ -22,6 +22,7 @@ mod registry;
 mod report;
 mod scale;
 mod sources;
+pub mod telemetry;
 mod train;
 
 pub use model::{default_patch_sizes, AnyModel, ModelSpec};
@@ -29,5 +30,6 @@ pub use registry::{table_i_rows, TaskSummary};
 pub use report::{fmt3, write_csv, Table};
 pub use scale::Scale;
 pub use sources::{BatchSource, ClassifySource, DenoisingSource, ForecastSource, ImputationSource, ReconstructSource};
-pub use train::{evaluate_forecast, fit, FitReport, TrainConfig};
+pub use telemetry::{TelemetrySummary, TrainEvent, TrainMonitor};
+pub use train::{evaluate_forecast, fit, fit_monitored, FitReport, TrainConfig};
 pub use train::{evaluate_accuracy, validation_loss};

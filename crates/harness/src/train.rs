@@ -1,12 +1,27 @@
 //! The training driver: mini-batch epochs, validation-based early stopping
-//! with best-checkpoint restore, and evaluation helpers.
+//! with best-checkpoint restore, divergence recovery, and evaluation
+//! helpers.
+//!
+//! ## Divergence recovery
+//!
+//! A batch whose loss or gradients are non-finite is never applied (the
+//! optimiser rejects poisoned gradients outright). Instead the driver rolls
+//! parameters back to the last good snapshot, resets the optimiser's moment
+//! state, and backs the learning rate off by [`TrainConfig::lr_backoff`].
+//! After [`TrainConfig::max_retries`] *consecutive* failures the run aborts
+//! cleanly with a diagnostic in [`FitReport::aborted`] rather than looping
+//! on garbage. Every action is recorded by a [`TrainMonitor`]
+//! (JSONL via `MSD_TELEMETRY`, counters in [`FitReport::telemetry`]); with
+//! telemetry disabled the driver's numerics are unchanged.
 
+use crate::telemetry::{TrainEvent, TrainMonitor};
 use crate::{AnyModel, BatchSource};
 use msd_autograd::Graph;
 use msd_mixer::Target;
 use msd_nn::{Adam, AdamConfig, Ctx, LrSchedule, Optimizer, ParamStore};
 use msd_tensor::rng::Rng;
 use msd_tensor::Tensor;
+use std::time::Instant;
 
 /// Training hyperparameters.
 #[derive(Clone, Debug)]
@@ -23,6 +38,25 @@ pub struct TrainConfig {
     pub schedule: LrSchedule,
     /// RNG seed (shuffling, dropout).
     pub seed: u64,
+    /// Consecutive non-finite batches tolerated before the run aborts
+    /// (default 4, overridable via `MSD_MAX_RETRIES`).
+    pub max_retries: usize,
+    /// Learning-rate multiplier applied on each divergence rollback
+    /// (default 0.5, overridable via `MSD_LR_BACKOFF`).
+    pub lr_backoff: f32,
+    /// Take the rollback snapshot every N applied batches (default 1:
+    /// after every good batch; raise to trade recovery granularity for
+    /// less cloning on very large models).
+    pub snapshot_every: usize,
+}
+
+/// Parses an environment variable, falling back to `default` when unset or
+/// malformed.
+fn env_or<T: std::str::FromStr>(key: &str, default: T) -> T {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 impl Default for TrainConfig {
@@ -34,6 +68,9 @@ impl Default for TrainConfig {
             patience: 3,
             schedule: LrSchedule::HalvingAfter(1),
             seed: 7,
+            max_retries: env_or("MSD_MAX_RETRIES", 4),
+            lr_backoff: env_or("MSD_LR_BACKOFF", 0.5),
+            snapshot_every: 1,
         }
     }
 }
@@ -41,16 +78,32 @@ impl Default for TrainConfig {
 /// What [`fit`] reports back.
 #[derive(Clone, Debug)]
 pub struct FitReport {
-    /// Mean training loss per epoch.
+    /// Mean training loss per epoch over *applied* batches; NaN for an
+    /// epoch in which every batch was dropped as non-finite (never a
+    /// fabricated 0.0).
     pub train_losses: Vec<f32>,
     /// Validation loss per epoch (when a validation source was given).
     pub val_losses: Vec<f32>,
     /// Epochs actually run (≤ `epochs` with early stopping).
     pub epochs_run: usize,
+    /// Batches dropped across the run because loss or gradients were
+    /// non-finite.
+    pub skipped_batches: usize,
+    /// Divergence recoveries performed (rollback + optimiser reset + lr
+    /// backoff).
+    pub rollbacks: usize,
+    /// `Some(diagnostic)` when divergence retries were exhausted and the
+    /// run stopped early; parameters are left at the last good snapshot
+    /// (or the best validation checkpoint when one exists).
+    pub aborted: Option<String>,
+    /// Aggregated telemetry counters for the run.
+    pub telemetry: crate::telemetry::TelemetrySummary,
 }
 
 /// Trains `model` on `train`, optionally early-stopping on `val`, restoring
-/// the best validation checkpoint at the end.
+/// the best validation checkpoint at the end. Telemetry goes to the JSONL
+/// path in `MSD_TELEMETRY` when set; see [`fit_monitored`] to supply an
+/// explicit monitor.
 pub fn fit(
     model: &AnyModel,
     store: &mut ParamStore,
@@ -58,7 +111,22 @@ pub fn fit(
     val: Option<&dyn BatchSource>,
     cfg: &TrainConfig,
 ) -> FitReport {
+    let mut monitor = TrainMonitor::from_env();
+    fit_monitored(model, store, train, val, cfg, &mut monitor)
+}
+
+/// [`fit`] with a caller-supplied [`TrainMonitor`] (tests and programmatic
+/// telemetry consumers).
+pub fn fit_monitored(
+    model: &AnyModel,
+    store: &mut ParamStore,
+    train: &dyn BatchSource,
+    val: Option<&dyn BatchSource>,
+    cfg: &TrainConfig,
+    monitor: &mut TrainMonitor,
+) -> FitReport {
     assert!(!train.is_empty(), "empty training source");
+    assert!(cfg.snapshot_every > 0, "snapshot_every must be positive");
     let mut opt = Adam::new(AdamConfig {
         lr: cfg.lr,
         ..AdamConfig::default()
@@ -68,51 +136,173 @@ pub fn fit(
         train_losses: Vec::new(),
         val_losses: Vec::new(),
         epochs_run: 0,
+        skipped_batches: 0,
+        rollbacks: 0,
+        aborted: None,
+        telemetry: Default::default(),
     };
     let mut best_val = f32::INFINITY;
     let mut best_snapshot: Option<Vec<Tensor>> = None;
     let mut bad_epochs = 0usize;
 
-    for epoch in 0..cfg.epochs {
-        opt.set_lr(cfg.schedule.lr_at(cfg.lr, epoch));
+    // Divergence-recovery state: the multiplicative lr backoff (sticky
+    // across epochs), the rollback target, and the consecutive-failure
+    // count that bounds retries.
+    let mut lr_scale = 1.0f32;
+    let mut last_good: Option<Vec<Tensor>> = None;
+    let mut consecutive_failures = 0usize;
+    let mut applied_since_snapshot = 0usize;
+
+    'training: for epoch in 0..cfg.epochs {
+        opt.set_lr(cfg.schedule.lr_at(cfg.lr, epoch) * lr_scale);
         let mut epoch_loss = 0.0f64;
         let mut batches = 0usize;
-        for idx in msd_data::Batcher::new(train.len(), cfg.batch_size, Some(&mut rng)) {
+        let mut epoch_skipped = 0usize;
+        for (batch_idx, idx) in
+            msd_data::Batcher::new(train.len(), cfg.batch_size, Some(&mut rng)).enumerate()
+        {
+            let t0 = Instant::now();
             let (x, target) = train.batch(&idx);
             let g = Graph::new();
             let ctx = Ctx::new(&g, store, &mut rng);
             let (_, loss) = model.forward_loss(&ctx, &x, &target);
             let loss_val = g.value(loss).item();
+            // A non-finite loss skips backward entirely; a finite loss with
+            // non-finite gradients is rejected by the optimiser. Either way
+            // `grad_norm` records what was observed.
+            let mut failure_norm = f32::NAN;
             if loss_val.is_finite() {
                 let grads = g.backward(loss);
-                opt.step(store, &grads);
-                epoch_loss += loss_val as f64;
-                batches += 1;
+                let outcome = opt.step(store, &grads);
+                if outcome.applied {
+                    epoch_loss += loss_val as f64;
+                    batches += 1;
+                    consecutive_failures = 0;
+                    applied_since_snapshot += 1;
+                    if applied_since_snapshot >= cfg.snapshot_every {
+                        last_good = Some(store.snapshot());
+                        applied_since_snapshot = 0;
+                    }
+                    monitor.record(&TrainEvent::BatchEnd {
+                        epoch,
+                        batch: batch_idx,
+                        loss: loss_val,
+                        grad_norm: outcome.grad_norm,
+                        clip_scale: outcome.clip_scale,
+                        lr: opt.lr(),
+                        wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+                    });
+                    continue;
+                }
+                failure_norm = outcome.grad_norm;
             }
+
+            // Non-finite loss or gradients: recover or abort.
+            epoch_skipped += 1;
+            consecutive_failures += 1;
+            monitor.record(&TrainEvent::NonFinite {
+                epoch,
+                batch: batch_idx,
+                loss: loss_val,
+                grad_norm: failure_norm,
+            });
+            if consecutive_failures > cfg.max_retries {
+                let reason = format!(
+                    "divergence retries exhausted: {consecutive_failures} consecutive \
+                     non-finite batches at epoch {epoch} batch {batch_idx} \
+                     (loss {loss_val}, grad norm {failure_norm}, lr {})",
+                    opt.lr()
+                );
+                monitor.record(&TrainEvent::Abort {
+                    epoch,
+                    batch: batch_idx,
+                    reason: reason.clone(),
+                });
+                eprintln!("[train] aborting: {reason}");
+                if let Some(snap) = &last_good {
+                    store.load_values(snap);
+                    monitor.record(&TrainEvent::Restore {
+                        epoch,
+                        kind: "good-state",
+                    });
+                }
+                report.skipped_batches += epoch_skipped;
+                report.aborted = Some(reason);
+                report.epochs_run = epoch + 1;
+                break 'training;
+            }
+            // Roll back to the last good parameters, drop poisoned moment
+            // state, and back the learning rate off for the rest of the run.
+            if let Some(snap) = &last_good {
+                store.load_values(snap);
+                monitor.record(&TrainEvent::Restore {
+                    epoch,
+                    kind: "good-state",
+                });
+            }
+            opt.reset_state();
+            lr_scale *= cfg.lr_backoff;
+            let new_lr = cfg.schedule.lr_at(cfg.lr, epoch) * lr_scale;
+            opt.set_lr(new_lr);
+            report.rollbacks += 1;
+            monitor.record(&TrainEvent::Rollback {
+                epoch,
+                batch: batch_idx,
+                new_lr,
+                retries_left: cfg.max_retries - consecutive_failures,
+            });
         }
-        report
-            .train_losses
-            .push((epoch_loss / batches.max(1) as f64) as f32);
+        // Mean loss over applied batches only — and honestly NaN (with a
+        // stderr warning) when every batch was dropped, instead of the old
+        // silent 0.0.
+        let epoch_mean = if batches > 0 {
+            (epoch_loss / batches as f64) as f32
+        } else {
+            eprintln!("[train] epoch {epoch}: every batch was non-finite (skipped {epoch_skipped})");
+            f32::NAN
+        };
+        report.train_losses.push(epoch_mean);
+        report.skipped_batches += epoch_skipped;
         report.epochs_run = epoch + 1;
 
+        let mut epoch_val = None;
         if let Some(val) = val {
             let vloss = validation_loss(model, store, val, cfg.batch_size);
             report.val_losses.push(vloss);
+            epoch_val = Some(vloss);
             if vloss < best_val {
                 best_val = vloss;
                 best_snapshot = Some(store.snapshot());
                 bad_epochs = 0;
+                monitor.record(&TrainEvent::Snapshot {
+                    epoch,
+                    kind: "best-val",
+                });
             } else {
                 bad_epochs += 1;
-                if bad_epochs >= cfg.patience {
-                    break;
-                }
             }
+        }
+        monitor.record(&TrainEvent::EpochEnd {
+            epoch,
+            train_loss: epoch_mean,
+            val_loss: epoch_val,
+            lr: opt.lr(),
+            skipped: epoch_skipped,
+        });
+        if val.is_some() && bad_epochs >= cfg.patience {
+            monitor.record(&TrainEvent::EarlyStop { epoch });
+            break;
         }
     }
     if let Some(snap) = best_snapshot {
         store.load_values(&snap);
+        monitor.record(&TrainEvent::Restore {
+            epoch: report.epochs_run.saturating_sub(1),
+            kind: "best-val",
+        });
     }
+    monitor.flush();
+    report.telemetry = monitor.summary().clone();
     report
 }
 
@@ -303,6 +493,162 @@ mod tests {
             final_val <= best * 1.05 + 1e-4,
             "final {final_val} vs best {best}"
         );
+    }
+
+    /// A validation source whose targets are offset by a scripted amount per
+    /// epoch, so the validation-loss trajectory is controlled: large offset
+    /// ⇒ large loss. One batch per epoch (len ≤ batch size).
+    struct ScriptedValSource {
+        offsets: Vec<f32>,
+        calls: std::cell::Cell<usize>,
+    }
+
+    impl BatchSource for ScriptedValSource {
+        fn len(&self) -> usize {
+            8
+        }
+
+        fn batch(&self, indices: &[usize]) -> (Tensor, Target) {
+            let call = self.calls.get();
+            self.calls.set(call + 1);
+            let off = self.offsets[call.min(self.offsets.len() - 1)];
+            let n = indices.len();
+            let x = Tensor::ones(&[n, 1, 24]);
+            let y = Tensor::full(&[n, 1, 8], off);
+            (x, Target::Series(y))
+        }
+    }
+
+    #[test]
+    fn worsening_then_recovering_val_restores_best_predictions() {
+        // Scripted val losses ≈ [9, ~0, 900, 100]: best at epoch 1, then
+        // worse, then recovered-but-not-best. With patience 3 all four
+        // epochs run, and the final parameters must be *exactly* the
+        // epoch-1 checkpoint — asserted on predictions, not loss, against
+        // a truncated reference run that stops at epoch 1. Both runs use
+        // LrSchedule::HalvingAfter so the restore interacts with a moving
+        // learning rate.
+        let data = sine_series(400);
+        let cfg = |epochs| TrainConfig {
+            epochs,
+            lr: 5e-3,
+            patience: 3,
+            schedule: LrSchedule::HalvingAfter(1),
+            ..TrainConfig::default()
+        };
+        let probe = Tensor::ones(&[2, 1, 24]);
+
+        // Full run: 4 epochs, early-stopping machinery engaged.
+        let windows = SlidingWindows::new(&data, 24, 8, Split::Train);
+        let src = ForecastSource::new(windows, 128);
+        let val = ScriptedValSource {
+            offsets: vec![3.0, 0.0, 30.0, 10.0],
+            calls: std::cell::Cell::new(0),
+        };
+        let mut store = ParamStore::new();
+        let mut rng = Rng::seed_from(21);
+        let model = ModelSpec::NLinear.build(
+            &mut store,
+            &mut rng,
+            1,
+            24,
+            Task::Forecast { horizon: 8 },
+            8,
+        );
+        let report = fit(&model, &mut store, &src, Some(&val), &cfg(4));
+        assert_eq!(report.epochs_run, 4, "patience 3 must not stop early here");
+        let best_epoch = report
+            .val_losses
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        assert_eq!(best_epoch, 1, "val losses {:?}", report.val_losses);
+        let final_pred = model.predict(&store, &probe);
+
+        // Reference run: identical seed/config, truncated after epoch 1,
+        // no validation (validation never consumes the training RNG).
+        let windows = SlidingWindows::new(&data, 24, 8, Split::Train);
+        let src = ForecastSource::new(windows, 128);
+        let mut ref_store = ParamStore::new();
+        let mut ref_rng = Rng::seed_from(21);
+        let ref_model = ModelSpec::NLinear.build(
+            &mut ref_store,
+            &mut ref_rng,
+            1,
+            24,
+            Task::Forecast { horizon: 8 },
+            8,
+        );
+        fit(&ref_model, &mut ref_store, &src, None, &cfg(2));
+        let ref_pred = ref_model.predict(&ref_store, &probe);
+
+        assert_eq!(
+            final_pred.data(),
+            ref_pred.data(),
+            "restored checkpoint is not bit-identical to the best epoch"
+        );
+    }
+
+    #[test]
+    fn patience_exhaustion_stops_early_and_still_restores_best() {
+        // Val loss worsens from epoch 1 on; patience 2 stops after epoch 2
+        // and the best (epoch 0) checkpoint is restored.
+        let data = sine_series(400);
+        let windows = SlidingWindows::new(&data, 24, 8, Split::Train);
+        let src = ForecastSource::new(windows, 128);
+        let val = ScriptedValSource {
+            offsets: vec![0.0, 20.0, 40.0, 60.0],
+            calls: std::cell::Cell::new(0),
+        };
+        let mut store = ParamStore::new();
+        let mut rng = Rng::seed_from(22);
+        let model = ModelSpec::NLinear.build(
+            &mut store,
+            &mut rng,
+            1,
+            24,
+            Task::Forecast { horizon: 8 },
+            8,
+        );
+        let cfg = TrainConfig {
+            epochs: 6,
+            lr: 5e-3,
+            patience: 2,
+            ..TrainConfig::default()
+        };
+        let report = fit(&model, &mut store, &src, Some(&val), &cfg);
+        assert_eq!(report.epochs_run, 3, "val losses {:?}", report.val_losses);
+
+        let probe = Tensor::ones(&[1, 1, 24]);
+        let final_pred = model.predict(&store, &probe);
+        let windows = SlidingWindows::new(&data, 24, 8, Split::Train);
+        let src = ForecastSource::new(windows, 128);
+        let mut ref_store = ParamStore::new();
+        let mut ref_rng = Rng::seed_from(22);
+        let ref_model = ModelSpec::NLinear.build(
+            &mut ref_store,
+            &mut ref_rng,
+            1,
+            24,
+            Task::Forecast { horizon: 8 },
+            8,
+        );
+        fit(
+            &ref_model,
+            &mut ref_store,
+            &src,
+            None,
+            &TrainConfig {
+                epochs: 1,
+                lr: 5e-3,
+                patience: 2,
+                ..TrainConfig::default()
+            },
+        );
+        let ref_pred = ref_model.predict(&ref_store, &probe);
+        assert_eq!(final_pred.data(), ref_pred.data());
     }
 
     #[test]

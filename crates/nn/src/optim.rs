@@ -4,16 +4,51 @@ use crate::ParamStore;
 use msd_autograd::Gradients;
 use msd_tensor::Tensor;
 
+/// What one optimiser step actually did — consumed by training telemetry
+/// and the divergence-recovery policy in the harness.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StepOutcome {
+    /// Whether the update was applied. `false` means the gradients were
+    /// non-finite and the step was skipped without touching any state.
+    pub applied: bool,
+    /// Global L2 gradient norm observed before clipping (NaN/inf when the
+    /// step was skipped).
+    pub grad_norm: f32,
+    /// Scale applied by gradient clipping (1.0 = clipping inactive).
+    pub clip_scale: f32,
+}
+
+impl StepOutcome {
+    /// A step rejected because of non-finite gradients.
+    fn skipped(grad_norm: f32) -> Self {
+        Self {
+            applied: false,
+            grad_norm,
+            clip_scale: 1.0,
+        }
+    }
+}
+
 /// A first-order optimiser updating a [`ParamStore`] in place.
 pub trait Optimizer {
-    /// Applies one update from `grads`.
-    fn step(&mut self, store: &mut ParamStore, grads: &Gradients);
+    /// Applies one update from `grads`, reporting what happened.
+    ///
+    /// Implementations must reject non-finite gradients (returning
+    /// `applied: false`) rather than letting NaN/inf contaminate any
+    /// internal accumulator state.
+    fn step(&mut self, store: &mut ParamStore, grads: &Gradients) -> StepOutcome;
 
     /// Current learning rate (after any schedule).
     fn lr(&self) -> f32;
 
     /// Overrides the learning rate (used by schedules).
     fn set_lr(&mut self, lr: f32);
+
+    /// Discards all accumulated state (moments, velocities, step counts),
+    /// as if freshly constructed. The divergence-recovery policy calls this
+    /// after rolling parameters back, so state computed from poisoned
+    /// gradients can never leak into future updates.
+    fn reset_state(&mut self);
 }
 
 /// Stochastic gradient descent with optional momentum.
@@ -36,7 +71,11 @@ impl Sgd {
 }
 
 impl Optimizer for Sgd {
-    fn step(&mut self, store: &mut ParamStore, grads: &Gradients) {
+    fn step(&mut self, store: &mut ParamStore, grads: &Gradients) -> StepOutcome {
+        let norm = grads.global_norm();
+        if !norm.is_finite() {
+            return StepOutcome::skipped(norm);
+        }
         if self.velocity.len() < store.len() {
             self.velocity.resize(store.len(), None);
         }
@@ -54,6 +93,11 @@ impl Optimizer for Sgd {
                 store.get_mut(id).axpy(-self.lr, grad);
             }
         }
+        StepOutcome {
+            applied: true,
+            grad_norm: norm,
+            clip_scale: 1.0,
+        }
     }
 
     fn lr(&self) -> f32 {
@@ -62,6 +106,10 @@ impl Optimizer for Sgd {
 
     fn set_lr(&mut self, lr: f32) {
         self.lr = lr;
+    }
+
+    fn reset_state(&mut self) {
+        self.velocity.clear();
     }
 }
 
@@ -100,7 +148,12 @@ impl Default for AdamConfig {
 /// paper's PyTorch training setup.
 pub struct Adam {
     cfg: AdamConfig,
-    step: u64,
+    /// Per-parameter update counts: bias correction must reflect how many
+    /// times *this* parameter's moments were updated, not the global step —
+    /// a parameter whose first gradient arrives late (e.g. a task head that
+    /// only enters the loss in a later phase) would otherwise be
+    /// under-corrected on its first updates.
+    steps: Vec<u64>,
     m: Vec<Option<Tensor>>,
     v: Vec<Option<Tensor>>,
 }
@@ -110,7 +163,7 @@ impl Adam {
     pub fn new(cfg: AdamConfig) -> Self {
         Self {
             cfg,
-            step: 0,
+            steps: Vec::new(),
             m: Vec::new(),
             v: Vec::new(),
         }
@@ -126,26 +179,29 @@ impl Adam {
 }
 
 impl Optimizer for Adam {
-    fn step(&mut self, store: &mut ParamStore, grads: &Gradients) {
-        self.step += 1;
+    fn step(&mut self, store: &mut ParamStore, grads: &Gradients) -> StepOutcome {
+        // A non-finite global norm means at least one gradient element is
+        // NaN/inf (or the squared sum overflowed): either way the update is
+        // garbage. Reject it *before* touching the moments — `norm > max`
+        // is false for NaN, so the old clipping path silently let poisoned
+        // gradients through at clip_scale 1.0 and corrupted m/v forever.
+        let norm = grads.global_norm();
+        if !norm.is_finite() || !grads.all_finite() {
+            return StepOutcome::skipped(norm);
+        }
         if self.m.len() < store.len() {
             self.m.resize(store.len(), None);
             self.v.resize(store.len(), None);
+            self.steps.resize(store.len(), 0);
         }
         let clip_scale = match self.cfg.clip_norm {
-            Some(max) => {
-                let norm = grads.global_norm();
-                if norm > max {
-                    max / norm
-                } else {
-                    1.0
-                }
-            }
-            None => 1.0,
+            Some(max) if norm > max => max / norm,
+            _ => 1.0,
         };
-        let bc1 = 1.0 - (self.cfg.beta1 as f64).powi(self.step as i32) as f32;
-        let bc2 = 1.0 - (self.cfg.beta2 as f64).powi(self.step as i32) as f32;
         for (id, grad) in grads.iter() {
+            self.steps[id] += 1;
+            let bc1 = 1.0 - (self.cfg.beta1 as f64).powi(self.steps[id] as i32) as f32;
+            let bc2 = 1.0 - (self.cfg.beta2 as f64).powi(self.steps[id] as i32) as f32;
             let m = self.m[id].get_or_insert_with(|| Tensor::zeros(grad.shape()));
             let v = self.v[id].get_or_insert_with(|| Tensor::zeros(grad.shape()));
             let p = store.get_mut(id);
@@ -168,6 +224,11 @@ impl Optimizer for Adam {
                 *pv -= lr * (mhat / (vhat.sqrt() + eps) + wd * *pv);
             }
         }
+        StepOutcome {
+            applied: true,
+            grad_norm: norm,
+            clip_scale,
+        }
     }
 
     fn lr(&self) -> f32 {
@@ -176,6 +237,12 @@ impl Optimizer for Adam {
 
     fn set_lr(&mut self, lr: f32) {
         self.cfg.lr = lr;
+    }
+
+    fn reset_state(&mut self) {
+        self.steps.clear();
+        self.m.clear();
+        self.v.clear();
     }
 }
 
@@ -267,5 +334,122 @@ mod tests {
         assert_eq!(opt.lr(), 0.5);
         opt.set_lr(0.25);
         assert_eq!(opt.lr(), 0.25);
+    }
+
+    /// Backward pass over `loss = mse(scale * x, target)`; `scale = NaN`
+    /// produces an all-NaN gradient.
+    fn grads_for(store: &ParamStore, id: usize, scale: f32) -> msd_autograd::Gradients {
+        let g = Graph::new();
+        let x = g.param(id, store.get(id).clone());
+        let y = g.scale(x, scale);
+        let loss = g.mse_loss(y, &Tensor::zeros(store.get(id).shape()));
+        g.backward(loss)
+    }
+
+    #[test]
+    fn nan_gradient_is_skipped_and_never_poisons_moments() {
+        let mut store = ParamStore::new();
+        let id = store.register("x", Tensor::from_vec(&[2], vec![1.0, -2.0]));
+        let mut opt = Adam::with_lr(0.1);
+        // A clean step builds finite moment state.
+        let grads = grads_for(&store, id, 1.0);
+        let out = opt.step(&mut store, &grads);
+        assert!(out.applied && out.grad_norm.is_finite());
+        let after_clean = store.get(id).clone();
+
+        // A poisoned step must be rejected outright: parameters untouched,
+        // and the *next* clean step still behaves (moments stayed finite).
+        let grads = grads_for(&store, id, f32::NAN);
+        let out = opt.step(&mut store, &grads);
+        assert!(!out.applied, "NaN gradient must not be applied");
+        assert!(!out.grad_norm.is_finite());
+        assert_eq!(store.get(id).data(), after_clean.data(), "params touched by skipped step");
+
+        let grads = grads_for(&store, id, 1.0);
+        let out = opt.step(&mut store, &grads);
+        assert!(out.applied);
+        assert!(store.get(id).data().iter().all(|v| v.is_finite()), "moments were poisoned");
+    }
+
+    #[test]
+    fn sgd_also_rejects_nan_gradients() {
+        let mut store = ParamStore::new();
+        let id = store.register("x", Tensor::ones(&[2]));
+        let mut opt = Sgd::new(0.1, 0.9);
+        let grads = grads_for(&store, id, 1.0);
+        assert!(opt.step(&mut store, &grads).applied);
+        let grads = grads_for(&store, id, f32::NAN);
+        assert!(!opt.step(&mut store, &grads).applied);
+        assert!(store.get(id).data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn bias_correction_counts_per_parameter() {
+        // Parameter `late` receives its first gradient at step 10. Adam's
+        // first update for any parameter has magnitude ≈ lr (mhat/√vhat = ±1
+        // up to eps) — but only if bias correction uses *its own* step
+        // count. A global count of 10 would shrink the update ~3×.
+        let mut store = ParamStore::new();
+        let early = store.register("early", Tensor::ones(&[1]));
+        let late = store.register("late", Tensor::ones(&[1]));
+        let lr = 0.01;
+        let mut opt = Adam::with_lr(lr);
+        for step in 0..12 {
+            let g = Graph::new();
+            let e = g.param(early, store.get(early).clone());
+            let mut loss = g.mse_loss(e, &Tensor::zeros(&[1]));
+            if step >= 10 {
+                let l = g.param(late, store.get(late).clone());
+                loss = g.add(loss, g.mse_loss(l, &Tensor::zeros(&[1])));
+            }
+            let before_late = store.get(late).data()[0];
+            let grads = g.backward(loss);
+            assert!(opt.step(&mut store, &grads).applied);
+            if step == 10 {
+                let delta = (store.get(late).data()[0] - before_late).abs();
+                assert!(
+                    (delta - lr).abs() < lr * 0.02,
+                    "late param first update {delta} should be ≈ lr {lr}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reset_state_restores_first_step_behaviour() {
+        let mut store = ParamStore::new();
+        let id = store.register("x", Tensor::full(&[1], 5.0));
+        let lr = 0.01;
+        let mut opt = Adam::with_lr(lr);
+        for _ in 0..20 {
+            let grads = grads_for(&store, id, 1.0);
+            opt.step(&mut store, &grads);
+        }
+        opt.reset_state();
+        let before = store.get(id).data()[0];
+        let grads = grads_for(&store, id, 1.0);
+        opt.step(&mut store, &grads);
+        let delta = (store.get(id).data()[0] - before).abs();
+        assert!(
+            (delta - lr).abs() < lr * 0.02,
+            "post-reset first update {delta} should be ≈ lr {lr}"
+        );
+    }
+
+    #[test]
+    fn clip_activation_is_reported() {
+        let mut store = ParamStore::new();
+        let id = store.register("x", Tensor::zeros(&[1]));
+        let mut opt = Adam::new(AdamConfig {
+            clip_norm: Some(1.0),
+            ..AdamConfig::default()
+        });
+        let g = Graph::new();
+        let x = g.param(id, store.get(id).clone());
+        let loss = g.mse_loss(g.scale(x, 1e3), &Tensor::full(&[1], 1e3));
+        let out = opt.step(&mut store, &g.backward(loss));
+        assert!(out.applied);
+        assert!(out.clip_scale < 1.0, "huge gradient should activate clipping");
+        assert!(out.grad_norm > 1.0);
     }
 }

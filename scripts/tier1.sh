@@ -8,3 +8,21 @@ cd "$(dirname "$0")/.."
 
 cargo build --workspace --release --offline
 cargo test --workspace -q --offline
+
+# Run the failure-injection suite explicitly: it is the gate on the
+# training runtime's divergence-recovery guarantees (NaN-safe optimiser,
+# rollback/backoff, honest reporting) and must never be filtered out.
+cargo test -p msd-harness --test failure_injection -q --offline
+
+# Telemetry smoke: a seconds-long training run with an injected NaN batch;
+# asserts the recovery path end-to-end and leaves a JSONL event log (CI
+# uploads it as an artifact). Override the path with MSD_TELEMETRY_OUT.
+TELEMETRY_OUT="${MSD_TELEMETRY_OUT:-target/telemetry-smoke.jsonl}"
+rm -f "$TELEMETRY_OUT"
+cargo run --release --offline -p msd-harness --bin msd-experiment -- \
+  smoke --telemetry "$TELEMETRY_OUT"
+test -s "$TELEMETRY_OUT" || { echo "telemetry smoke wrote no events" >&2; exit 1; }
+grep -q '"event":"rollback"' "$TELEMETRY_OUT" || {
+  echo "telemetry smoke recorded no recovery" >&2; exit 1;
+}
+echo "telemetry smoke OK: $(wc -l < "$TELEMETRY_OUT") events in $TELEMETRY_OUT"
