@@ -70,7 +70,7 @@ impl MiniRocket {
         // Deterministic kernel grid: enumerate 2-positions patterns and
         // dilations round-robin.
         let mut kernels = Vec::with_capacity(num_kernels);
-        let max_dilation = ((l / KERNEL_LEN).max(1)).min(16);
+        let max_dilation = (l / KERNEL_LEN).clamp(1, 16);
         let mut pattern = 0usize;
         while kernels.len() < num_kernels {
             let a = pattern % KERNEL_LEN;

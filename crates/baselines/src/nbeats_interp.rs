@@ -84,6 +84,9 @@ impl NBeatsInterpretable {
     /// Builds the interpretable stack: `blocks_per_stack` blocks each in the
     /// trend (polynomial degree `degree`) and seasonality (`harmonics`
     /// Fourier pairs) stacks.
+    // The hyperparameters are independent knobs; a config struct would just
+    // rename the same eight fields.
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         store: &mut ParamStore,
         rng: &mut Rng,

@@ -15,15 +15,23 @@ fn usage() -> ! {
     eprintln!(
         "usage: msd-experiment <family> [options]\n\
          families: long-term | short-term | imputation | anomaly |\n\
-                   classification | ablation | case-study | smoke | all\n\
+                   classification | ablation | case-study | smoke |\n\
+                   ckpt-smoke | all\n\
          options:\n\
-           --telemetry <path>   write JSONL training telemetry (= MSD_TELEMETRY)\n\
-           --max-retries <n>    divergence retries before abort (= MSD_MAX_RETRIES)\n\
-           --lr-backoff <f>     lr multiplier per rollback (= MSD_LR_BACKOFF)\n\
+           --telemetry <path>       write JSONL training telemetry (= MSD_TELEMETRY)\n\
+           --max-retries <n>        divergence retries before abort (= MSD_MAX_RETRIES)\n\
+           --lr-backoff <f>         lr multiplier per rollback (= MSD_LR_BACKOFF)\n\
+           --checkpoint-dir <dir>   durable crash-safe checkpoints (= MSD_CHECKPOINT_DIR)\n\
+           --checkpoint-every <n>   applied batches between checkpoints (= MSD_CHECKPOINT_EVERY)\n\
+           --resume                 resume from the newest valid checkpoint (= MSD_RESUME)\n\
+           --kill-after <n>         fault injection: die after n applied batches (= MSD_KILL_AFTER)\n\
+           --save-params <path>     (ckpt-smoke) save final parameters for diffing\n\
          scale via MSD_SCALE=smoke|fast|full (default fast);\n\
          results cached under target/msd-results/;\n\
          'smoke' trains a tiny model (with one injected NaN batch) to\n\
-         exercise the telemetry + recovery path in seconds"
+         exercise the telemetry + recovery path in seconds;\n\
+         'ckpt-smoke' trains a tiny deterministic forecaster for the\n\
+         kill-and-resume bit-identity check"
     );
     std::process::exit(2)
 }
@@ -31,6 +39,7 @@ fn usage() -> ! {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut family: Option<String> = None;
+    let mut save_params: Option<String> = None;
     // Flags translate to the env vars the training runtime reads, so the
     // experiment runners (which construct TrainConfig internally) pick
     // them up without plumbing.
@@ -49,6 +58,23 @@ fn main() {
                 Some(v) => std::env::set_var("MSD_LR_BACKOFF", v.to_string()),
                 None => usage(),
             },
+            "--checkpoint-dir" => match it.next() {
+                Some(v) => std::env::set_var("MSD_CHECKPOINT_DIR", v),
+                None => usage(),
+            },
+            "--checkpoint-every" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(v) => std::env::set_var("MSD_CHECKPOINT_EVERY", v.to_string()),
+                None => usage(),
+            },
+            "--resume" => std::env::set_var("MSD_RESUME", "1"),
+            "--kill-after" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(v) => std::env::set_var("MSD_KILL_AFTER", v.to_string()),
+                None => usage(),
+            },
+            "--save-params" => match it.next() {
+                Some(v) => save_params = Some(v.clone()),
+                None => usage(),
+            },
             f if !f.starts_with('-') && family.is_none() => family = Some(f.to_string()),
             _ => usage(),
         }
@@ -65,6 +91,7 @@ fn main() {
         "ablation" => run_ablation(scale),
         "case-study" => run_case_study(scale),
         "smoke" => run_smoke(),
+        "ckpt-smoke" => run_ckpt_smoke(save_params.as_deref()),
         "all" => {
             run_long_term(scale);
             run_short_term(scale);
@@ -158,6 +185,65 @@ fn run_smoke() {
         report.train_losses.last().unwrap().is_finite(),
         "smoke run diverged"
     );
+}
+
+/// Deterministic kill-and-resume smoke: trains a tiny mixer forecaster on
+/// an *index-pure* sine source (batch content depends only on the sampled
+/// indices, never on call order, so a resumed process sees exactly the
+/// data an uninterrupted one would). Checkpointing, resume, and fault
+/// injection are all driven by the shared `--checkpoint-dir` /
+/// `--resume` / `--kill-after` flags; `--save-params` writes the final
+/// parameters so the tier-1 gate can byte-compare runs.
+fn run_ckpt_smoke(save_params: Option<&str>) {
+    use msd_data::{SlidingWindows, Split};
+    use msd_harness::{fit, ForecastSource, ModelSpec, TrainConfig};
+    use msd_mixer::variants::Variant;
+    use msd_nn::{ParamStore, Task};
+    use msd_tensor::{rng::Rng, Tensor};
+
+    let data = Tensor::from_vec(
+        &[1, 400],
+        (0..400).map(|i| (i as f32 / 4.0).sin()).collect(),
+    );
+    let windows = SlidingWindows::new(&data, 24, 8, Split::Train);
+    let src = ForecastSource::new(windows, 48);
+    let mut store = ParamStore::new();
+    let mut rng = Rng::seed_from(9);
+    let model = ModelSpec::MsdMixer(Variant::Full).build(
+        &mut store,
+        &mut rng,
+        1,
+        24,
+        Task::Forecast { horizon: 8 },
+        4,
+    );
+    let report = fit(
+        &model,
+        &mut store,
+        &src,
+        None,
+        &TrainConfig {
+            epochs: 3,
+            batch_size: 16,
+            lr: 5e-3,
+            seed: 11,
+            ..TrainConfig::default()
+        },
+    );
+    println!(
+        "ckpt-smoke,epochs={},batches={},aborted={},resumed={},final_loss={:.6}",
+        report.epochs_run,
+        report.telemetry.batches,
+        report.aborted.is_some(),
+        report.resumed_from.is_some(),
+        report.train_losses.last().copied().unwrap_or(f32::NAN),
+    );
+    if let Some(path) = save_params {
+        let mut file = std::io::BufWriter::new(
+            std::fs::File::create(path).expect("cannot create --save-params file"),
+        );
+        msd_nn::serialize::save(&store, &mut file).expect("cannot save parameters");
+    }
 }
 
 fn run_long_term(scale: Scale) {

@@ -16,6 +16,7 @@
 //! differ in training epochs, window counts, and model width. EXPERIMENTS.md
 //! records which scale produced the committed results.
 
+pub mod checkpoint;
 pub mod experiments;
 mod model;
 mod registry;
@@ -25,11 +26,12 @@ mod sources;
 pub mod telemetry;
 mod train;
 
+pub use checkpoint::{Fingerprint, TrainCheckpoint, TrainerState};
 pub use model::{default_patch_sizes, AnyModel, ModelSpec};
 pub use registry::{table_i_rows, TaskSummary};
 pub use report::{fmt3, write_csv, Table};
 pub use scale::Scale;
 pub use sources::{BatchSource, ClassifySource, DenoisingSource, ForecastSource, ImputationSource, ReconstructSource};
-pub use telemetry::{TelemetrySummary, TrainEvent, TrainMonitor};
+pub use telemetry::{read_events_tolerant, TelemetrySummary, TrainEvent, TrainMonitor};
 pub use train::{evaluate_forecast, fit, fit_monitored, FitReport, TrainConfig};
 pub use train::{evaluate_accuracy, validation_loss};

@@ -98,6 +98,16 @@ pub enum TrainEvent {
         /// Epoch index at which training stopped.
         epoch: usize,
     },
+    /// Training state was restored from a durable on-disk checkpoint and
+    /// the run continues mid-stream.
+    Resume {
+        /// Epoch the run resumes inside.
+        epoch: usize,
+        /// First batch index the resumed run will execute.
+        batch: usize,
+        /// Path of the checkpoint file that was loaded.
+        path: String,
+    },
 }
 
 impl TrainEvent {
@@ -112,6 +122,7 @@ impl TrainEvent {
             TrainEvent::Snapshot { .. } => "snapshot",
             TrainEvent::Restore { .. } => "restore",
             TrainEvent::EarlyStop { .. } => "early_stop",
+            TrainEvent::Resume { .. } => "resume",
         }
     }
 
@@ -199,6 +210,13 @@ impl TrainEvent {
             TrainEvent::EarlyStop { epoch } => {
                 let _ = write!(s, ",\"epoch\":{epoch}");
             }
+            TrainEvent::Resume { epoch, batch, path } => {
+                let _ = write!(
+                    s,
+                    ",\"epoch\":{epoch},\"batch\":{batch},\"path\":\"{}\"",
+                    json_escape(path)
+                );
+            }
         }
         s.push('}');
         s
@@ -240,7 +258,7 @@ fn json_escape(s: &str) -> String {
 
 /// Aggregated counters over one training run — always collected, embedded
 /// in `FitReport` so callers can audit a run without parsing the JSONL log.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct TelemetrySummary {
     /// Batches whose update was applied.
     pub batches: usize,
@@ -360,7 +378,11 @@ impl TrainMonitor {
         match &mut self.sink {
             Sink::None => {}
             Sink::File(w) => {
+                // Write and flush per event: a crash can tear at most the
+                // line being written, never lose earlier events to a
+                // buffered writer that died with the process.
                 let _ = writeln!(w, "{}", event.to_json());
+                let _ = w.flush();
             }
             Sink::Memory(lines) => lines.push(event.to_json()),
         }
@@ -369,6 +391,13 @@ impl TrainMonitor {
     /// The aggregated counters so far.
     pub fn summary(&self) -> &TelemetrySummary {
         &self.summary
+    }
+
+    /// Replaces the counters wholesale — used when a run resumes from a
+    /// durable checkpoint, so the final summary covers the logical run
+    /// rather than just the post-resume tail.
+    pub fn restore_summary(&mut self, summary: TelemetrySummary) {
+        self.summary = summary;
     }
 
     /// The JSON lines recorded by an [`TrainMonitor::in_memory`] monitor
@@ -392,6 +421,30 @@ impl Drop for TrainMonitor {
     fn drop(&mut self) {
         self.flush();
     }
+}
+
+/// Reads a telemetry JSONL file crash-tolerantly: returns the complete
+/// event lines plus the number of torn lines skipped. A process killed
+/// mid-write leaves at most one partial trailing line (events are flushed
+/// per record); a reader that choked on it would make the log useless
+/// exactly when it matters most, so malformed lines are counted and
+/// skipped instead.
+pub fn read_events_tolerant(path: impl AsRef<Path>) -> std::io::Result<(Vec<String>, usize)> {
+    let content = std::fs::read_to_string(path)?;
+    let mut events = Vec::new();
+    let mut torn = 0usize;
+    for line in content.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('{') && line.ends_with('}') {
+            events.push(line.to_string());
+        } else {
+            torn += 1;
+        }
+    }
+    Ok((events, torn))
 }
 
 #[cfg(test)]
@@ -467,6 +520,32 @@ mod tests {
         assert_eq!(s.rollbacks, 1);
         assert_eq!(s.max_grad_norm, 2.0);
         assert!((s.batch_wall_ms - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tolerant_reader_skips_torn_final_line() {
+        let path = std::env::temp_dir().join("msd_telemetry_torn.jsonl");
+        let mut content = String::new();
+        content.push_str(&TrainEvent::EarlyStop { epoch: 1 }.to_json());
+        content.push('\n');
+        content.push_str(
+            &TrainEvent::Snapshot {
+                epoch: 2,
+                kind: "durable",
+            }
+            .to_json(),
+        );
+        content.push('\n');
+        // A crash mid-write leaves a partial line with no closing brace.
+        content.push_str("{\"event\":\"batch\",\"epoch\":3,\"lo");
+        std::fs::write(&path, &content).unwrap();
+
+        let (events, torn) = read_events_tolerant(&path).unwrap();
+        assert_eq!(events.len(), 2, "complete lines must survive: {events:?}");
+        assert_eq!(torn, 1, "the torn tail must be counted, not fatal");
+        assert!(events[0].contains("early_stop"));
+        assert!(events[1].contains("durable"));
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -14,13 +14,16 @@
 //! (JSONL via `MSD_TELEMETRY`, counters in [`FitReport::telemetry`]); with
 //! telemetry disabled the driver's numerics are unchanged.
 
+use crate::checkpoint::{Fingerprint, TrainCheckpoint, TrainerState};
 use crate::telemetry::{TrainEvent, TrainMonitor};
 use crate::{AnyModel, BatchSource};
 use msd_autograd::Graph;
 use msd_mixer::Target;
+use msd_nn::checkpoint::CheckpointDir;
 use msd_nn::{Adam, AdamConfig, Ctx, LrSchedule, Optimizer, ParamStore};
 use msd_tensor::rng::Rng;
 use msd_tensor::Tensor;
+use std::path::PathBuf;
 use std::time::Instant;
 
 /// Training hyperparameters.
@@ -48,6 +51,27 @@ pub struct TrainConfig {
     /// after every good batch; raise to trade recovery granularity for
     /// less cloning on very large models).
     pub snapshot_every: usize,
+    /// Directory for durable crash-safe checkpoints (`None` disables them
+    /// entirely — and changes no numerics). Overridable via
+    /// `MSD_CHECKPOINT_DIR`.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Write a durable checkpoint every N applied batches (default 8,
+    /// overridable via `MSD_CHECKPOINT_EVERY`). Only meaningful with
+    /// [`TrainConfig::checkpoint_dir`] set.
+    pub checkpoint_every: usize,
+    /// Rotated checkpoint generations kept besides the latest (default 2,
+    /// overridable via `MSD_CHECKPOINT_KEEP`).
+    pub checkpoint_keep: usize,
+    /// Resume from the newest valid checkpoint in
+    /// [`TrainConfig::checkpoint_dir`] before training (overridable via
+    /// `MSD_RESUME=1`). When no compatible checkpoint exists the run
+    /// starts fresh with a warning on stderr.
+    pub resume: bool,
+    /// Fault injection: end the process's training loop abruptly after N
+    /// applied batches, exactly as `kill -9` would — no best-checkpoint
+    /// restore, no cleanup (overridable via `MSD_KILL_AFTER`). Tests use
+    /// this to exercise the resume path deterministically.
+    pub kill_after_batches: Option<usize>,
 }
 
 /// Parses an environment variable, falling back to `default` when unset or
@@ -71,6 +95,19 @@ impl Default for TrainConfig {
             max_retries: env_or("MSD_MAX_RETRIES", 4),
             lr_backoff: env_or("MSD_LR_BACKOFF", 0.5),
             snapshot_every: 1,
+            checkpoint_dir: std::env::var("MSD_CHECKPOINT_DIR")
+                .ok()
+                .filter(|v| !v.is_empty())
+                .map(PathBuf::from),
+            checkpoint_every: env_or("MSD_CHECKPOINT_EVERY", 8),
+            checkpoint_keep: env_or("MSD_CHECKPOINT_KEEP", 2),
+            resume: matches!(
+                std::env::var("MSD_RESUME").as_deref(),
+                Ok("1") | Ok("true")
+            ),
+            kill_after_batches: std::env::var("MSD_KILL_AFTER")
+                .ok()
+                .and_then(|v| v.parse().ok()),
         }
     }
 }
@@ -96,6 +133,9 @@ pub struct FitReport {
     /// run stopped early; parameters are left at the last good snapshot
     /// (or the best validation checkpoint when one exists).
     pub aborted: Option<String>,
+    /// The checkpoint file this run resumed from, when
+    /// [`TrainConfig::resume`] found a compatible one.
+    pub resumed_from: Option<PathBuf>,
     /// Aggregated telemetry counters for the run.
     pub telemetry: crate::telemetry::TelemetrySummary,
 }
@@ -127,6 +167,7 @@ pub fn fit_monitored(
 ) -> FitReport {
     assert!(!train.is_empty(), "empty training source");
     assert!(cfg.snapshot_every > 0, "snapshot_every must be positive");
+    assert!(cfg.checkpoint_every > 0, "checkpoint_every must be positive");
     let mut opt = Adam::new(AdamConfig {
         lr: cfg.lr,
         ..AdamConfig::default()
@@ -139,6 +180,7 @@ pub fn fit_monitored(
         skipped_batches: 0,
         rollbacks: 0,
         aborted: None,
+        resumed_from: None,
         telemetry: Default::default(),
     };
     let mut best_val = f32::INFINITY;
@@ -153,14 +195,120 @@ pub fn fit_monitored(
     let mut consecutive_failures = 0usize;
     let mut applied_since_snapshot = 0usize;
 
-    'training: for epoch in 0..cfg.epochs {
+    // Durable checkpoint plumbing. With `checkpoint_dir: None` everything
+    // below is inert and the training numerics are untouched.
+    let ckpt_dir = cfg
+        .checkpoint_dir
+        .as_ref()
+        .map(|d| CheckpointDir::new(d, cfg.checkpoint_keep));
+    let fingerprint = Fingerprint {
+        seed: cfg.seed,
+        batch_size: cfg.batch_size as u64,
+        epochs: cfg.epochs as u64,
+        lr: cfg.lr,
+        schedule: format!("{:?}", cfg.schedule),
+        train_len: train.len() as u64,
+    };
+    let mut start_epoch = 0usize;
+    let mut applied_total = 0usize;
+    // (shuffle order, next batch, loss accumulator, applied, skipped) of
+    // the partially trained epoch being resumed.
+    let mut resume_point: Option<(Vec<usize>, usize, f64, usize, usize)> = None;
+    if cfg.resume {
+        if let Some(dir) = &ckpt_dir {
+            match TrainCheckpoint::load_newest(dir) {
+                Some((path, ck)) => match ck
+                    .validate(&fingerprint, store)
+                    .and_then(|()| {
+                        // Stage the optimiser before touching the store:
+                        // `import_state` is all-or-nothing, so a bad file
+                        // leaves both optimiser and parameters untouched.
+                        let mut staged = Adam::new(AdamConfig {
+                            lr: cfg.lr,
+                            ..AdamConfig::default()
+                        });
+                        staged.import_state(&ck.optim)?;
+                        Ok(staged)
+                    }) {
+                    Ok(staged_opt) => {
+                        opt = staged_opt;
+                        let values: Vec<Tensor> =
+                            ck.params.iter().map(|(_, t)| t.clone()).collect();
+                        store.load_values(&values);
+                        rng = Rng::from_state(ck.rng);
+                        let t = &ck.trainer;
+                        start_epoch = t.epoch as usize;
+                        resume_point = Some((
+                            t.order.iter().map(|&i| i as usize).collect(),
+                            t.next_batch as usize,
+                            t.epoch_loss,
+                            t.epoch_batches as usize,
+                            t.epoch_skipped as usize,
+                        ));
+                        lr_scale = t.lr_scale;
+                        consecutive_failures = t.consecutive_failures as usize;
+                        applied_total = t.applied_total as usize;
+                        report.train_losses = t.train_losses.clone();
+                        report.val_losses = t.val_losses.clone();
+                        report.skipped_batches = t.skipped_batches as usize;
+                        report.rollbacks = t.rollbacks as usize;
+                        best_val = t.best_val;
+                        bad_epochs = t.bad_epochs as usize;
+                        best_snapshot = ck.best.clone();
+                        // The restored parameters are by construction a good
+                        // state: make them the rollback target.
+                        last_good = Some(store.snapshot());
+                        monitor.restore_summary(t.telemetry.clone());
+                        monitor.record(&TrainEvent::Resume {
+                            epoch: start_epoch,
+                            batch: t.next_batch as usize,
+                            path: path.display().to_string(),
+                        });
+                        eprintln!(
+                            "[checkpoint] resumed from {} at epoch {start_epoch} batch {}",
+                            path.display(),
+                            t.next_batch
+                        );
+                        report.resumed_from = Some(path);
+                    }
+                    Err(e) => eprintln!(
+                        "[checkpoint] {} does not belong to this run ({e}); starting fresh",
+                        path.display()
+                    ),
+                },
+                None => eprintln!(
+                    "[checkpoint] no usable checkpoint under {}; starting fresh",
+                    cfg.checkpoint_dir.as_ref().unwrap().display()
+                ),
+            }
+        }
+    }
+
+    'training: for epoch in start_epoch..cfg.epochs {
         opt.set_lr(cfg.schedule.lr_at(cfg.lr, epoch) * lr_scale);
         let mut epoch_loss = 0.0f64;
         let mut batches = 0usize;
         let mut epoch_skipped = 0usize;
-        for (batch_idx, idx) in
-            msd_data::Batcher::new(train.len(), cfg.batch_size, Some(&mut rng)).enumerate()
-        {
+        let mut batch_offset = 0usize;
+        let batcher = match resume_point.take() {
+            Some((order, next_batch, loss, applied, skipped)) => {
+                // Mid-epoch resume: reuse the checkpointed shuffle order
+                // (the shuffle already consumed the RNG before the
+                // checkpoint) and the partial-epoch accumulators.
+                epoch_loss = loss;
+                batches = applied;
+                epoch_skipped = skipped;
+                batch_offset = next_batch;
+                msd_data::Batcher::resume(order, cfg.batch_size, next_batch)
+            }
+            None => msd_data::Batcher::new(train.len(), cfg.batch_size, Some(&mut rng)),
+        };
+        // The order is checkpointed alongside the cursor so a resumed run
+        // replays exactly the batches an uninterrupted one would see.
+        let epoch_order: Option<Vec<usize>> =
+            ckpt_dir.as_ref().map(|_| batcher.order().to_vec());
+        for (enum_idx, idx) in batcher.enumerate() {
+            let batch_idx = batch_offset + enum_idx;
             let t0 = Instant::now();
             let (x, target) = train.batch(&idx);
             let g = Graph::new();
@@ -192,6 +340,64 @@ pub fn fit_monitored(
                         lr: opt.lr(),
                         wall_ms: t0.elapsed().as_secs_f64() * 1e3,
                     });
+                    applied_total += 1;
+                    if let (Some(dir), Some(order)) = (&ckpt_dir, &epoch_order) {
+                        if applied_total.is_multiple_of(cfg.checkpoint_every) {
+                            let ck = TrainCheckpoint {
+                                fingerprint: fingerprint.clone(),
+                                params: store
+                                    .iter()
+                                    .map(|(_, name, v)| (name.to_string(), v.clone()))
+                                    .collect(),
+                                optim: opt.export_state(),
+                                rng: rng.state(),
+                                trainer: TrainerState {
+                                    epoch: epoch as u64,
+                                    next_batch: (batch_idx + 1) as u64,
+                                    order: order.iter().map(|&i| i as u64).collect(),
+                                    epoch_loss,
+                                    epoch_batches: batches as u64,
+                                    epoch_skipped: epoch_skipped as u64,
+                                    lr_scale,
+                                    consecutive_failures: consecutive_failures as u64,
+                                    applied_total: applied_total as u64,
+                                    train_losses: report.train_losses.clone(),
+                                    val_losses: report.val_losses.clone(),
+                                    skipped_batches: report.skipped_batches as u64,
+                                    rollbacks: report.rollbacks as u64,
+                                    best_val,
+                                    bad_epochs: bad_epochs as u64,
+                                    telemetry: monitor.summary().clone(),
+                                },
+                                best: best_snapshot.clone(),
+                            };
+                            match ck.save(dir) {
+                                Ok(()) => monitor.record(&TrainEvent::Snapshot {
+                                    epoch,
+                                    kind: "durable",
+                                }),
+                                Err(e) => eprintln!(
+                                    "[checkpoint] write failed: {e} (training continues)"
+                                ),
+                            }
+                        }
+                    }
+                    if let Some(kill) = cfg.kill_after_batches {
+                        if applied_total >= kill {
+                            // Simulated `kill -9`: return mid-epoch with no
+                            // best-checkpoint restore and no epoch
+                            // bookkeeping — the state a real crash leaves
+                            // behind, minus the durable checkpoints.
+                            report.aborted = Some(format!(
+                                "fault injection: killed after {applied_total} applied batches"
+                            ));
+                            report.skipped_batches += epoch_skipped;
+                            report.epochs_run = epoch + 1;
+                            monitor.flush();
+                            report.telemetry = monitor.summary().clone();
+                            return report;
+                        }
+                    }
                     continue;
                 }
                 failure_norm = outcome.grad_norm;

@@ -66,6 +66,6 @@ pub use heads::Target;
 pub use layer::{MsdLayer, PatchMode};
 pub use model::{ModelOutput, MsdMixer};
 pub use patching::{padded_len, patch, unpatch};
-pub use persist::{load_model, save_model};
+pub use persist::{load_model, load_model_file, save_model, save_model_file};
 pub use residual_loss::residual_loss;
 pub use summary::{describe, summarize, ModuleSummary};

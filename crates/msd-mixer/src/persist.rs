@@ -112,6 +112,35 @@ fn bad(msg: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, format!("load_model: {msg}"))
 }
 
+/// Saves the model to `path` crash-safely: the [`save_model`] stream is
+/// wrapped in a CRC-protected `MSDCKPT2` container and installed
+/// atomically (tmp sibling + fsync + rename), so a crash mid-save can
+/// never leave a torn or half-written model file behind.
+pub fn save_model_file(
+    model: &MsdMixer,
+    store: &ParamStore,
+    path: impl AsRef<std::path::Path>,
+) -> io::Result<()> {
+    let mut payload = Vec::new();
+    save_model(model, store, &mut payload)?;
+    let bytes = msd_nn::checkpoint::encode_container(&[("model", payload)]);
+    msd_nn::checkpoint::write_atomic(path.as_ref(), &bytes)
+}
+
+/// Loads a model written by [`save_model_file`], verifying the container
+/// CRCs before any of the payload is parsed. Torn or bit-flipped files are
+/// rejected as [`io::ErrorKind::InvalidData`]; nothing panics.
+pub fn load_model_file(path: impl AsRef<std::path::Path>) -> io::Result<(MsdMixer, ParamStore)> {
+    let bytes = std::fs::read(path.as_ref())?;
+    let sections = msd_nn::checkpoint::decode_container(&bytes)?;
+    let payload = sections
+        .iter()
+        .find(|(name, _)| name == "model")
+        .map(|(_, payload)| payload)
+        .ok_or_else(|| bad("container has no 'model' section"))?;
+    load_model(&mut payload.as_slice())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -155,6 +184,41 @@ mod tests {
     fn load_rejects_garbage() {
         assert!(load_model(&mut &b"not a model"[..]).is_err());
         assert!(load_model(&mut &b"format=other\n\n"[..]).is_err());
+    }
+
+    #[test]
+    fn file_round_trip_is_atomic_and_crc_verified() {
+        let (model, store, x) = trained_fixture();
+        let path = std::env::temp_dir().join("msd_mixer_persist_file.msd");
+        let _ = std::fs::remove_file(&path);
+        save_model_file(&model, &store, &path).unwrap();
+        // No tmp droppings from the atomic write.
+        let parent = path.parent().unwrap();
+        let leftovers = std::fs::read_dir(parent)
+            .unwrap()
+            .filter(|e| {
+                let name = e.as_ref().unwrap().file_name();
+                name.to_string_lossy()
+                    .starts_with(".msd_mixer_persist_file.msd.tmp")
+            })
+            .count();
+        assert_eq!(leftovers, 0, "atomic save left tmp files behind");
+
+        let (restored_model, restored_store) = load_model_file(&path).unwrap();
+        let before = model.predict(&store, &x);
+        let after = restored_model.predict(&restored_store, &x);
+        assert_eq!(before.data(), after.data(), "file round trip not bit-exact");
+
+        // Any torn or flipped byte is caught by the container CRC.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+        assert!(load_model_file(&path).is_err(), "truncation accepted");
+        let mut flipped = bytes.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x10;
+        std::fs::write(&path, &flipped).unwrap();
+        assert!(load_model_file(&path).is_err(), "bit flip accepted");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

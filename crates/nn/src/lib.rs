@@ -27,12 +27,13 @@ mod optim;
 mod params;
 mod schedule;
 mod task;
+pub mod checkpoint;
 pub mod serialize;
 
 pub use ctx::Ctx;
 pub use init::{kaiming_normal, xavier_uniform};
 pub use layers::{LayerNorm, Linear, MlpBlock};
-pub use optim::{Adam, AdamConfig, Optimizer, Sgd};
+pub use optim::{Adam, AdamConfig, OptimState, Optimizer, Sgd};
 pub use params::ParamStore;
 pub use schedule::LrSchedule;
 pub use task::Task;

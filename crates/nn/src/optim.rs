@@ -3,6 +3,7 @@
 use crate::ParamStore;
 use msd_autograd::Gradients;
 use msd_tensor::Tensor;
+use std::io;
 
 /// What one optimiser step actually did — consumed by training telemetry
 /// and the divergence-recovery policy in the harness.
@@ -29,6 +30,36 @@ impl StepOutcome {
     }
 }
 
+/// The complete accumulated state of an optimiser, in a form that survives
+/// checkpointing: per-parameter step counts plus named banks of optional
+/// slot tensors (Adam's `m`/`v`, SGD's `velocity`). `None` entries are
+/// parameters that have not received a gradient yet.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OptimState {
+    /// Which optimiser family produced this state (`"sgd"` / `"adam"`).
+    pub kind: String,
+    /// Per-parameter update counts (empty for optimisers without bias
+    /// correction).
+    pub steps: Vec<u64>,
+    /// Named slot banks; each bank holds one optional tensor per parameter.
+    pub slots: Vec<(String, Vec<Option<Tensor>>)>,
+}
+
+impl OptimState {
+    fn bank<'a>(&'a self, name: &str) -> io::Result<&'a [Option<Tensor>]> {
+        self.slots
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, bank)| bank.as_slice())
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("optimizer state missing slot bank '{name}'"),
+                )
+            })
+    }
+}
+
 /// A first-order optimiser updating a [`ParamStore`] in place.
 pub trait Optimizer {
     /// Applies one update from `grads`, reporting what happened.
@@ -49,6 +80,17 @@ pub trait Optimizer {
     /// after rolling parameters back, so state computed from poisoned
     /// gradients can never leak into future updates.
     fn reset_state(&mut self);
+
+    /// Exports the optimiser's full accumulated state for checkpointing.
+    /// Importing the result into a fresh optimiser of the same kind must
+    /// continue the update stream bit-identically.
+    fn export_state(&self) -> OptimState;
+
+    /// Restores state previously captured by [`Optimizer::export_state`].
+    /// Rejects state from a different optimiser kind with `InvalidData`;
+    /// on error the optimiser is left in its reset (fresh) configuration,
+    /// never half-loaded.
+    fn import_state(&mut self, state: &OptimState) -> io::Result<()>;
 }
 
 /// Stochastic gradient descent with optional momentum.
@@ -110,6 +152,26 @@ impl Optimizer for Sgd {
 
     fn reset_state(&mut self) {
         self.velocity.clear();
+    }
+
+    fn export_state(&self) -> OptimState {
+        OptimState {
+            kind: "sgd".into(),
+            steps: Vec::new(),
+            slots: vec![("velocity".into(), self.velocity.clone())],
+        }
+    }
+
+    fn import_state(&mut self, state: &OptimState) -> io::Result<()> {
+        self.reset_state();
+        if state.kind != "sgd" {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("cannot import '{}' state into Sgd", state.kind),
+            ));
+        }
+        self.velocity = state.bank("velocity")?.to_vec();
+        Ok(())
     }
 }
 
@@ -243,6 +305,54 @@ impl Optimizer for Adam {
         self.steps.clear();
         self.m.clear();
         self.v.clear();
+    }
+
+    fn export_state(&self) -> OptimState {
+        OptimState {
+            kind: "adam".into(),
+            steps: self.steps.clone(),
+            slots: vec![("m".into(), self.m.clone()), ("v".into(), self.v.clone())],
+        }
+    }
+
+    fn import_state(&mut self, state: &OptimState) -> io::Result<()> {
+        self.reset_state();
+        if state.kind != "adam" {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("cannot import '{}' state into Adam", state.kind),
+            ));
+        }
+        let m = state.bank("m")?.to_vec();
+        let v = state.bank("v")?.to_vec();
+        if m.len() != v.len() || state.steps.len() != m.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "inconsistent adam state: {} steps, {} m, {} v",
+                    state.steps.len(),
+                    m.len(),
+                    v.len()
+                ),
+            ));
+        }
+        for (id, (mm, vv)) in m.iter().zip(&v).enumerate() {
+            let shapes_agree = match (mm, vv) {
+                (Some(a), Some(b)) => a.shape() == b.shape(),
+                (None, None) => true,
+                _ => false,
+            };
+            if !shapes_agree {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("adam state param {id}: m/v slots disagree"),
+                ));
+            }
+        }
+        self.steps = state.steps.clone();
+        self.m = m;
+        self.v = v;
+        Ok(())
     }
 }
 
@@ -434,6 +544,71 @@ mod tests {
             (delta - lr).abs() < lr * 0.02,
             "post-reset first update {delta} should be ≈ lr {lr}"
         );
+    }
+
+    #[test]
+    fn adam_state_round_trip_continues_bit_identically() {
+        // Two optimisers: one runs 30 steps straight; the other runs 10,
+        // exports, imports into a *fresh* Adam, and runs the remaining 20.
+        // Parameters must agree bit-for-bit at the end.
+        let run = |split: Option<usize>| {
+            let mut store = ParamStore::new();
+            let id = store.register("x", Tensor::from_vec(&[3], vec![5.0, -4.0, 2.0]));
+            let mut opt = Adam::with_lr(0.05);
+            for step in 0..30 {
+                if split == Some(step) {
+                    let state = opt.export_state();
+                    opt = Adam::with_lr(0.05);
+                    opt.import_state(&state).unwrap();
+                }
+                let grads = grads_for(&store, id, 1.0);
+                assert!(opt.step(&mut store, &grads).applied);
+            }
+            store.get(id).data().iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        };
+        assert_eq!(run(None), run(Some(10)));
+    }
+
+    #[test]
+    fn sgd_state_round_trip_continues_bit_identically() {
+        let run = |split: Option<usize>| {
+            let mut store = ParamStore::new();
+            let id = store.register("x", Tensor::from_vec(&[2], vec![3.0, -1.0]));
+            let mut opt = Sgd::new(0.05, 0.9);
+            for step in 0..20 {
+                if split == Some(step) {
+                    let state = opt.export_state();
+                    opt = Sgd::new(0.05, 0.9);
+                    opt.import_state(&state).unwrap();
+                }
+                let grads = grads_for(&store, id, 1.0);
+                assert!(opt.step(&mut store, &grads).applied);
+            }
+            store.get(id).data().iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        };
+        assert_eq!(run(None), run(Some(7)));
+    }
+
+    #[test]
+    fn import_rejects_kind_mismatch_and_inconsistency() {
+        let mut store = ParamStore::new();
+        let id = store.register("x", Tensor::ones(&[2]));
+        let mut adam = Adam::with_lr(0.1);
+        let grads = grads_for(&store, id, 1.0);
+        adam.step(&mut store, &grads);
+
+        let mut sgd = Sgd::new(0.1, 0.9);
+        let err = sgd.import_state(&adam.export_state()).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        let err = Adam::with_lr(0.1).import_state(&sgd.export_state()).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+
+        // Inconsistent bank lengths are rejected, and the target stays reset.
+        let mut bad = adam.export_state();
+        bad.steps.push(99);
+        let mut fresh = Adam::with_lr(0.1);
+        assert!(fresh.import_state(&bad).is_err());
+        assert!(fresh.export_state().steps.is_empty(), "half-loaded state");
     }
 
     #[test]

@@ -73,6 +73,10 @@ pub fn naive_gemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32]) -> Vec<f32
 /// view), `B[p, j] = b[p·b_rs + j·b_cs]` (`k×n`), `C` row-major `m×n`,
 /// overwritten. Parallelises over row tiles of C when the problem is large
 /// enough and `MSD_NUM_THREADS` (or the machine) allows.
+// BLAS-style flat signature (dims + strided operands) on purpose: this is
+// the conventional sgemm shape and every caller passes the fields of a
+// tensor view it already holds.
+#[allow(clippy::too_many_arguments)]
 pub fn sgemm_strided(
     m: usize,
     k: usize,
@@ -95,6 +99,7 @@ pub fn sgemm_strided(
 
 /// [`sgemm_strided`] with an explicit worker count (used by batched callers
 /// that parallelise over the batch axis instead).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn sgemm_strided_with_threads(
     m: usize,
     k: usize,

@@ -27,7 +27,7 @@ fn main() {
     println!("{:<22} {:>8} {:>8} {:>8}", "method", "SMAPE", "MASE", "OWA");
     println!("{}", "-".repeat(50));
 
-    let mut report = |name: &str, score: msd_metrics::M4Score| {
+    let report = |name: &str, score: msd_metrics::M4Score| {
         println!(
             "{name:<22} {:>8.3} {:>8.3} {:>8.3}",
             score.smape, score.mase, score.owa

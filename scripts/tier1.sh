@@ -9,10 +9,17 @@ cd "$(dirname "$0")/.."
 cargo build --workspace --release --offline
 cargo test --workspace -q --offline
 
+# Lint gate: the workspace is kept clippy-clean, warnings are errors.
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
 # Run the failure-injection suite explicitly: it is the gate on the
 # training runtime's divergence-recovery guarantees (NaN-safe optimiser,
 # rollback/backoff, honest reporting) and must never be filtered out.
 cargo test -p msd-harness --test failure_injection -q --offline
+
+# Crash-safety gate: checkpoint/resume bit-identity and the corrupt-file
+# corpus (torn writes, bit flips, stale magic) must never be filtered out.
+cargo test -p msd-harness --test checkpoint_resume -q --offline
 
 # Telemetry smoke: a seconds-long training run with an injected NaN batch;
 # asserts the recovery path end-to-end and leaves a JSONL event log (CI
@@ -25,4 +32,31 @@ test -s "$TELEMETRY_OUT" || { echo "telemetry smoke wrote no events" >&2; exit 1
 grep -q '"event":"rollback"' "$TELEMETRY_OUT" || {
   echo "telemetry smoke recorded no recovery" >&2; exit 1;
 }
-echo "telemetry smoke OK: $(wc -l < "$TELEMETRY_OUT") events in $TELEMETRY_OUT"
+# The JSONL log must read crash-tolerantly: only count *complete* lines
+# (a killed run may leave one torn final line, which readers must skip).
+COMPLETE_EVENTS=$(grep -c '^{.*}$' "$TELEMETRY_OUT" || true)
+[ "$COMPLETE_EVENTS" -gt 0 ] || { echo "no complete telemetry events" >&2; exit 1; }
+echo "telemetry smoke OK: $COMPLETE_EVENTS events in $TELEMETRY_OUT"
+
+# Kill-and-resume smoke: run a seeded deterministic training job, kill it
+# mid-epoch via fault injection, resume from the durable checkpoint, and
+# require the final parameters to be byte-identical to an uninterrupted
+# run of the same seed.
+CKPT_DIR=target/ckpt-smoke
+REF_PARAMS=target/ckpt-smoke-ref.params
+RES_PARAMS=target/ckpt-smoke-resumed.params
+rm -rf "$CKPT_DIR" "$REF_PARAMS" "$RES_PARAMS"
+cargo run --release --offline -p msd-harness --bin msd-experiment -- \
+  ckpt-smoke --save-params "$REF_PARAMS"
+cargo run --release --offline -p msd-harness --bin msd-experiment -- \
+  ckpt-smoke --checkpoint-dir "$CKPT_DIR" --checkpoint-every 2 --kill-after 5
+MSD_KILL_AFTER= cargo run --release --offline -p msd-harness --bin msd-experiment -- \
+  ckpt-smoke --checkpoint-dir "$CKPT_DIR" --resume --save-params "$RES_PARAMS" \
+  | tee target/ckpt-smoke-resume.out
+grep -q 'resumed=true' target/ckpt-smoke-resume.out || {
+  echo "resume run did not actually resume from a checkpoint" >&2; exit 1;
+}
+cmp "$REF_PARAMS" "$RES_PARAMS" || {
+  echo "kill-and-resume run is not bit-identical to the uninterrupted run" >&2; exit 1;
+}
+echo "kill-and-resume smoke OK: resumed run bit-identical"
