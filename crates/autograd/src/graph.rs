@@ -107,6 +107,31 @@ pub struct Graph {
     train: bool,
 }
 
+/// Reusable node storage for repeated eval forwards.
+///
+/// A [`Graph`] is single-use, so a serving loop that runs one forward per
+/// request would reallocate the tape's node vector every time. An arena
+/// carries the (cleared) vector across tapes: build the next graph with
+/// [`Graph::eval_with`] and give the storage back with [`Graph::recycle`].
+/// Only the capacity survives recycling — never any values — so forwards
+/// through an arena-backed tape are identical to fresh-graph forwards.
+#[derive(Default)]
+pub struct TapeArena {
+    nodes: Vec<Node>,
+}
+
+impl TapeArena {
+    /// Creates an empty arena; capacity grows on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current node capacity held for reuse.
+    pub fn capacity(&self) -> usize {
+        self.nodes.capacity()
+    }
+}
+
 impl Default for Graph {
     fn default() -> Self {
         Self::new()
@@ -129,6 +154,23 @@ impl Graph {
             nodes: RefCell::new(Vec::with_capacity(256)),
             train: false,
         }
+    }
+
+    /// Creates an empty eval-mode tape backed by a recycled [`TapeArena`],
+    /// avoiding node-vector reallocation across repeated forwards.
+    pub fn eval_with(arena: TapeArena) -> Self {
+        Self {
+            nodes: RefCell::new(arena.nodes),
+            train: false,
+        }
+    }
+
+    /// Consumes the graph, clearing the tape but keeping its allocation for
+    /// the next [`Graph::eval_with`].
+    pub fn recycle(self) -> TapeArena {
+        let mut nodes = self.nodes.into_inner();
+        nodes.clear();
+        TapeArena { nodes }
     }
 
     /// Whether the graph applies stochastic regularisation.
@@ -615,6 +657,23 @@ mod tests {
         let x = g.param(0, Tensor::from_vec(&[2], vec![3.0, 4.0]));
         let loss = g.sum_all(x);
         assert!(g.backward(loss).all_finite());
+    }
+
+    #[test]
+    fn recycled_arena_keeps_capacity_not_values() {
+        let g = Graph::eval();
+        let x = g.input(Tensor::from_vec(&[4], vec![1.0, 2.0, 3.0, 4.0]));
+        let _ = g.square(x);
+        let cap_before = g.nodes.borrow().capacity();
+        let arena = g.recycle();
+        assert!(arena.capacity() >= cap_before.min(2));
+
+        let g2 = Graph::eval_with(arena);
+        assert!(g2.is_empty(), "recycled tape must start empty");
+        assert!(!g2.is_train());
+        let y = g2.input(Tensor::from_vec(&[2], vec![5.0, 6.0]));
+        let z = g2.scale(y, 2.0);
+        assert_eq!(g2.value(z).data(), &[10.0, 12.0]);
     }
 
     #[test]

@@ -33,4 +33,4 @@ mod ops_reduce;
 
 pub mod check;
 
-pub use graph::{Gradients, Graph, ParamId, Var};
+pub use graph::{Gradients, Graph, ParamId, TapeArena, Var};

@@ -43,7 +43,7 @@ mod patchtst;
 mod timesnet;
 
 use msd_autograd::Var;
-use msd_nn::{Ctx, Task};
+use msd_nn::{Ctx, Model, ModelOutput, Task};
 use msd_tensor::Tensor;
 
 pub use dlinear::DLinear;
@@ -68,6 +68,28 @@ pub trait Baseline {
     /// Builds the forward computation for a batch.
     fn forward(&self, ctx: &Ctx, x: &Tensor) -> Var;
 }
+
+/// Implements the unified [`msd_nn::Model`] trait for a learned baseline by
+/// delegating to its [`Baseline`] impl. A macro (rather than a blanket
+/// `impl<T: Baseline> Model for T`) because `Model` is a foreign trait, so
+/// the orphan rule requires one impl per local type.
+macro_rules! impl_model_for_baseline {
+    ($($ty:ty),+ $(,)?) => {$(
+        impl Model for $ty {
+            fn name(&self) -> &str {
+                Baseline::name(self)
+            }
+            fn task(&self) -> &Task {
+                Baseline::task(self)
+            }
+            fn forward(&self, ctx: &Ctx, x: &Tensor) -> ModelOutput {
+                ModelOutput::pred_only(Baseline::forward(self, ctx, x))
+            }
+        }
+    )+};
+}
+
+impl_model_for_baseline!(DLinear, NLinear, LightTs, NBeats, NHits, PatchTst, TimesNet);
 
 /// Output length for a task over inputs of length `input_len`.
 pub(crate) fn task_output_len(task: &Task, input_len: usize) -> usize {

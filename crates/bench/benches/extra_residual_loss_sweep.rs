@@ -46,11 +46,7 @@ fn run(lambda: f32, alpha: f32, scale: msd_harness::Scale) -> (f32, f32, f32, f3
         &mut store,
         &train,
         None,
-        &TrainConfig {
-            epochs: scale.epochs(),
-            lr: 5e-3,
-            ..TrainConfig::default()
-        },
+        &TrainConfig::builder().epochs(scale.epochs()).lr(5e-3).build(),
     );
     let (mse, mae) = evaluate_forecast(&model, &store, &test, 32);
     let AnyModel::Mixer(mixer) = &model else { unreachable!() };

@@ -37,38 +37,44 @@ fn usage() -> ! {
 }
 
 fn main() {
+    use msd_harness::TrainConfig;
+
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut family: Option<String> = None;
     let mut save_params: Option<String> = None;
-    // Flags translate to the env vars the training runtime reads, so the
-    // experiment runners (which construct TrainConfig internally) pick
-    // them up without plumbing.
+    // Flags parse into a typed TrainConfigBuilder; install_env then
+    // publishes the explicitly-set knobs as their documented MSD_* env
+    // variables so the experiment runners (which build their own configs
+    // through the builder's env-fallback layer) pick them up without
+    // plumbing.
+    let mut builder = TrainConfig::builder();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--telemetry" => match it.next() {
+                // Telemetry is TrainMonitor config, not TrainConfig.
                 Some(v) => std::env::set_var("MSD_TELEMETRY", v),
                 None => usage(),
             },
             "--max-retries" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
-                Some(v) => std::env::set_var("MSD_MAX_RETRIES", v.to_string()),
+                Some(v) => builder = builder.max_retries(v),
                 None => usage(),
             },
             "--lr-backoff" => match it.next().and_then(|v| v.parse::<f32>().ok()) {
-                Some(v) => std::env::set_var("MSD_LR_BACKOFF", v.to_string()),
+                Some(v) => builder = builder.lr_backoff(v),
                 None => usage(),
             },
             "--checkpoint-dir" => match it.next() {
-                Some(v) => std::env::set_var("MSD_CHECKPOINT_DIR", v),
+                Some(v) => builder = builder.checkpoint_dir(Some(v.into())),
                 None => usage(),
             },
             "--checkpoint-every" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
-                Some(v) => std::env::set_var("MSD_CHECKPOINT_EVERY", v.to_string()),
+                Some(v) => builder = builder.checkpoint_every(v),
                 None => usage(),
             },
-            "--resume" => std::env::set_var("MSD_RESUME", "1"),
+            "--resume" => builder = builder.resume(true),
             "--kill-after" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
-                Some(v) => std::env::set_var("MSD_KILL_AFTER", v.to_string()),
+                Some(v) => builder = builder.kill_after_batches(Some(v)),
                 None => usage(),
             },
             "--save-params" => match it.next() {
@@ -79,6 +85,7 @@ fn main() {
             _ => usage(),
         }
     }
+    builder.install_env();
     let family = family.unwrap_or_else(|| usage());
     let scale = Scale::from_env();
     eprintln!("running '{family}' at scale '{}'", scale.name());
@@ -163,12 +170,7 @@ fn run_smoke() {
         &mut store,
         &src,
         None,
-        &TrainConfig {
-            epochs: 3,
-            batch_size: 16,
-            lr: 5e-3,
-            ..TrainConfig::default()
-        },
+        &TrainConfig::builder().epochs(3).batch_size(16).lr(5e-3).build(),
     );
     println!(
         "smoke,epochs={},skipped={},rollbacks={},aborted={},final_loss={:.5}",
@@ -222,13 +224,12 @@ fn run_ckpt_smoke(save_params: Option<&str>) {
         &mut store,
         &src,
         None,
-        &TrainConfig {
-            epochs: 3,
-            batch_size: 16,
-            lr: 5e-3,
-            seed: 11,
-            ..TrainConfig::default()
-        },
+        &TrainConfig::builder()
+            .epochs(3)
+            .batch_size(16)
+            .lr(5e-3)
+            .seed(11)
+            .build(),
     );
     println!(
         "ckpt-smoke,epochs={},batches={},aborted={},resumed={},final_loss={:.6}",
@@ -242,7 +243,7 @@ fn run_ckpt_smoke(save_params: Option<&str>) {
         let mut file = std::io::BufWriter::new(
             std::fs::File::create(path).expect("cannot create --save-params file"),
         );
-        msd_nn::serialize::save(&store, &mut file).expect("cannot save parameters");
+        msd_nn::store::save(&store, &mut file).expect("cannot save parameters");
     }
 }
 

@@ -58,14 +58,13 @@ pub fn run_single(spec: &AnomalySpec, model_spec: ModelSpec, scale: Scale) -> De
         &mut store,
         &train_src,
         None,
-        &TrainConfig {
-            // Reconstruction heads need a few more passes than forecasting
-            // (uniform across models for fairness).
-            epochs: scale.epochs() + 3,
-            batch_size: scale.batch_size(),
-            lr: model_spec.default_lr(),
-            ..TrainConfig::default()
-        },
+        // Reconstruction heads need a few more passes than forecasting
+        // (uniform across models for fairness).
+        &TrainConfig::builder()
+            .epochs(scale.epochs() + 3)
+            .batch_size(scale.batch_size())
+            .lr(model_spec.default_lr())
+            .build(),
     );
 
     // Score the test stream with non-overlapping windows using *masked*

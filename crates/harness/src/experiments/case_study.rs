@@ -71,12 +71,11 @@ pub fn run_variant(variant: Variant, scale: Scale) -> (CaseStudyResult, Decompos
         &mut store,
         &train_src,
         None,
-        &TrainConfig {
-            epochs: scale.epochs() + 1,
-            batch_size: scale.batch_size(),
-            lr: 2e-3,
-            ..TrainConfig::default()
-        },
+        &TrainConfig::builder()
+            .epochs(scale.epochs() + 1)
+            .batch_size(scale.batch_size())
+            .lr(2e-3)
+            .build(),
     );
 
     // Decompose the first test window.

@@ -70,12 +70,11 @@ pub fn run_single(
         &mut store,
         &train_src,
         None,
-        &TrainConfig {
-            epochs: scale.epochs(),
-            batch_size: scale.batch_size(),
-            lr: model_spec.default_lr(),
-            ..TrainConfig::default()
-        },
+        &TrainConfig::builder()
+            .epochs(scale.epochs())
+            .batch_size(scale.batch_size())
+            .lr(model_spec.default_lr())
+            .build(),
     );
     evaluate_forecast(&model, &store, &test_src, scale.batch_size())
 }

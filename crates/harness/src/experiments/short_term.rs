@@ -122,12 +122,11 @@ pub fn run_single(col: &M4Collection, model_spec: ModelSpec, scale: Scale) -> M4
         &mut store,
         &src,
         None,
-        &TrainConfig {
-            epochs: scale.epochs() + 2, // short univariate series train fast
-            batch_size: scale.batch_size(),
-            lr: model_spec.default_lr(),
-            ..TrainConfig::default()
-        },
+        &TrainConfig::builder()
+            .epochs(scale.epochs() + 2) // short univariate series train fast
+            .batch_size(scale.batch_size())
+            .lr(model_spec.default_lr())
+            .build(),
     );
     score_forecasts(col, |hist_window| {
         let (mean, std) = window_stats(hist_window);

@@ -2,11 +2,11 @@
 //! baseline, so the training driver and experiment runners are
 //! model-agnostic.
 
-use msd_autograd::{Graph, Var};
-use msd_baselines::{Baseline, DLinear, LightTs, NBeats, NHits, NLinear, PatchTst, TimesNet};
+use msd_autograd::Var;
+use msd_baselines::{DLinear, LightTs, NBeats, NHits, NLinear, PatchTst, TimesNet};
 use msd_mixer::variants::{build_variant, Variant};
 use msd_mixer::{MsdMixer, MsdMixerConfig, Target};
-use msd_nn::{Ctx, ParamStore, Task};
+use msd_nn::{Ctx, DynModel, Model, ParamStore, Task};
 use msd_tensor::rng::Rng;
 use msd_tensor::Tensor;
 
@@ -161,74 +161,72 @@ pub fn default_patch_sizes(input_len: usize) -> Vec<usize> {
 }
 
 /// A model that the harness can train and evaluate on any task.
+///
+/// Both arms implement the unified [`Model`] trait, so every method here is
+/// plain trait dispatch via [`AnyModel::as_model`] — the per-family `match`
+/// zoo this enum used to carry lives on only as the `Mixer` arm, which some
+/// experiments destructure for decomposition-specific analysis.
 pub enum AnyModel {
     /// The paper's model (or an ablation variant).
     Mixer(MsdMixer),
     /// One of the baselines.
-    Baseline(Box<dyn Baseline>),
+    Baseline(DynModel),
 }
 
 impl AnyModel {
+    /// The unified trait view of whichever model this is.
+    pub fn as_model(&self) -> &(dyn Model + Send + Sync) {
+        match self {
+            AnyModel::Mixer(m) => m,
+            AnyModel::Baseline(b) => &**b,
+        }
+    }
+
     /// Display name for tables.
     pub fn name(&self) -> &str {
-        match self {
-            AnyModel::Mixer(m) => {
-                if m.config().lambda == 0.0 {
-                    "MSD-Mixer-L"
-                } else {
-                    "MSD-Mixer"
-                }
-            }
-            AnyModel::Baseline(b) => b.name(),
-        }
+        self.as_model().name()
     }
 
     /// Builds the forward pass and total training loss for one batch,
     /// returning `(prediction, loss)`.
     pub fn forward_loss(&self, ctx: &Ctx, x: &Tensor, target: &Target) -> (Var, Var) {
-        match self {
-            AnyModel::Mixer(m) => {
-                let out = m.forward(ctx, x);
-                let loss = m.loss(ctx.g, &out, target);
-                (out.pred, loss)
-            }
-            AnyModel::Baseline(b) => {
-                let pred = b.forward(ctx, x);
-                let g = ctx.g;
-                let loss = match target {
-                    Target::Series(y) => g.mse_loss(pred, y),
-                    Target::MaskedSeries {
-                        series,
-                        observed_mask,
-                    } => {
-                        let missing = observed_mask.map(|m| 1.0 - m);
-                        g.masked_mse_loss(pred, series, &missing)
-                    }
-                    Target::Labels(labels) => g.softmax_cross_entropy(pred, labels),
-                };
-                (pred, loss)
-            }
-        }
+        let m = self.as_model();
+        let out = m.forward(ctx, x);
+        let loss = m.loss(ctx, &out, target);
+        (out.pred, loss)
     }
 
     /// Eval-mode inference on a batch.
     pub fn predict(&self, store: &ParamStore, x: &Tensor) -> Tensor {
-        let g = Graph::eval();
-        let mut rng = Rng::seed_from(0);
-        let ctx = Ctx::new(&g, store, &mut rng);
-        match self {
-            AnyModel::Mixer(m) => {
-                let out = m.forward(&ctx, x);
-                g.value(out.pred)
-            }
-            AnyModel::Baseline(b) => g.value(b.forward(&ctx, x)),
-        }
+        self.as_model().predict(store, x)
+    }
+
+    /// Batched eval-mode inference over per-sample inputs (each `[1, C, L]`),
+    /// bit-identical to per-sample [`AnyModel::predict`] calls.
+    pub fn predict_batch(&self, store: &ParamStore, xs: &[Tensor]) -> Vec<Tensor> {
+        self.as_model().predict_batch(store, xs)
+    }
+}
+
+impl Model for AnyModel {
+    fn name(&self) -> &str {
+        self.as_model().name()
+    }
+    fn task(&self) -> &Task {
+        self.as_model().task()
+    }
+    fn forward(&self, ctx: &Ctx, x: &Tensor) -> msd_nn::ModelOutput {
+        self.as_model().forward(ctx, x)
+    }
+    fn loss(&self, ctx: &Ctx, out: &msd_nn::ModelOutput, target: &Target) -> Var {
+        self.as_model().loss(ctx, out, target)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use msd_autograd::Graph;
 
     #[test]
     fn default_patch_sizes_are_descending_and_end_at_one() {

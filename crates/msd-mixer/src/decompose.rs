@@ -79,7 +79,9 @@ pub fn decompose(model: &MsdMixer, store: &ParamStore, x: &Tensor) -> Decomposit
             .iter()
             .map(|&s| g.value(s).reshape(&[c, l]))
             .collect(),
-        residual: g.value(out.residual).reshape(&[c, l]),
+        residual: g
+            .value(out.residual.expect("MSD-Mixer forward always decomposes"))
+            .reshape(&[c, l]),
     }
 }
 

@@ -1,28 +1,11 @@
-//! Per-layer task heads `f_i(E_i)` (Eq. 2) and training targets.
+//! Per-layer task heads `f_i(E_i)` (Eq. 2).
+//!
+//! Training targets ([`msd_nn::Target`]) moved to `msd-nn` with the unified
+//! [`msd_nn::Model`] trait; `msd_mixer::Target` remains as a re-export.
 
 use crate::config::Task;
 use msd_autograd::Var;
 use msd_nn::{Ctx, Linear, ParamStore};
-use msd_tensor::Tensor;
-
-/// The label `Y` for one training batch, per task.
-#[derive(Clone, Debug)]
-pub enum Target {
-    /// Forecasting target `[B, C, H]` or full reconstruction target
-    /// `[B, C, L]`.
-    Series(Tensor),
-    /// Imputation target: reconstruct `series` where `observed_mask` is 0
-    /// (missing); the task loss is computed only there. `observed_mask`
-    /// holds 1 at observed positions.
-    MaskedSeries {
-        /// Ground-truth series `[B, C, L]`.
-        series: Tensor,
-        /// 1 = observed, 0 = missing, shape `[B, C, L]`.
-        observed_mask: Tensor,
-    },
-    /// Class labels, one per batch element.
-    Labels(Vec<usize>),
-}
 
 /// One layer's head: a linear projection of the flattened representation.
 pub(crate) struct Head {
@@ -99,6 +82,7 @@ impl Head {
 mod tests {
     use super::*;
     use msd_autograd::Graph;
+    use msd_tensor::Tensor;
 
     fn run_head(task: Task) -> Vec<usize> {
         use msd_tensor::rng::Rng;

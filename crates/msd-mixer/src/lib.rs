@@ -62,9 +62,9 @@ pub mod variants;
 pub use config::{MsdMixerConfig, Task};
 pub use decompose::{decompose, Decomposition};
 pub use encdec::{PatchDecoder, PatchEncoder};
-pub use heads::Target;
 pub use layer::{MsdLayer, PatchMode};
-pub use model::{ModelOutput, MsdMixer};
+pub use model::MsdMixer;
+pub use msd_nn::{Model, ModelOutput, Target};
 pub use patching::{padded_len, patch, unpatch};
 pub use persist::{load_model, load_model_file, save_model, save_model_file};
 pub use residual_loss::residual_loss;

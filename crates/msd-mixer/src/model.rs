@@ -1,24 +1,13 @@
 //! The full MSD-Mixer model (Sec. III-B, Alg. 1).
 
 use crate::config::{MsdMixerConfig, Task};
-use crate::heads::{Head, Target};
+use crate::heads::Head;
 use crate::layer::{MsdLayer, PatchMode};
 use crate::residual_loss::residual_loss;
 use msd_autograd::{Graph, Var};
-use msd_nn::{Ctx, ParamStore};
+use msd_nn::{Ctx, Model, ModelOutput, ParamStore, Target};
 use msd_tensor::rng::Rng;
 use msd_tensor::Tensor;
-
-/// Everything one forward pass produces: the task prediction, each layer's
-/// component `S_i` and representation `E_i`, and the final residual `Z_k`.
-pub struct ModelOutput {
-    /// Task prediction (`[B,C,H]`, `[B,C,L]`, or `[B,classes]`).
-    pub pred: Var,
-    /// Per-layer decomposed components `S_i`, each `[B, C, L]`.
-    pub components: Vec<Var>,
-    /// Final residual `Z_k = X − Σ S_i`, `[B, C, L]`.
-    pub residual: Var,
-}
 
 /// MSD-Mixer: a stack of decomposition layers with per-layer task heads.
 pub struct MsdMixer {
@@ -116,7 +105,7 @@ impl MsdMixer {
         ModelOutput {
             pred: pred.expect("at least one layer"),
             components,
-            residual: z,
+            residual: Some(z),
         }
     }
 
@@ -126,23 +115,12 @@ impl MsdMixer {
     /// # Panics
     /// Panics if the target kind does not match the configured task.
     pub fn loss(&self, g: &Graph, out: &ModelOutput, target: &Target) -> Var {
-        let task_loss = match (&self.cfg.task, target) {
-            (Task::Forecast { .. }, Target::Series(y)) => g.mse_loss(out.pred, y),
-            (Task::Reconstruct, Target::Series(y)) => g.mse_loss(out.pred, y),
-            (Task::Reconstruct, Target::MaskedSeries { series, observed_mask }) => {
-                // Imputation: loss on the *missing* positions.
-                let missing = observed_mask.map(|m| 1.0 - m);
-                g.masked_mse_loss(out.pred, series, &missing)
-            }
-            (Task::Classify { .. }, Target::Labels(labels)) => {
-                g.softmax_cross_entropy(out.pred, labels)
-            }
-            (task, target) => panic!("target {target:?} does not match task {task:?}"),
-        };
+        let task_loss = msd_nn::default_task_loss(g, out.pred, &self.cfg.task, target);
         if self.cfg.lambda == 0.0 {
             return task_loss;
         }
-        let lr = residual_loss(g, out.residual, self.cfg.alpha, self.cfg.magnitude_only);
+        let residual = out.residual.expect("MSD-Mixer forward always decomposes");
+        let lr = residual_loss(g, residual, self.cfg.alpha, self.cfg.magnitude_only);
         g.add(task_loss, g.scale(lr, self.cfg.lambda))
     }
 
@@ -154,6 +132,31 @@ impl MsdMixer {
         let ctx = Ctx::new(&g, store, &mut rng);
         let out = self.forward(&ctx, x);
         g.value(out.pred)
+    }
+}
+
+impl Model for MsdMixer {
+    fn name(&self) -> &str {
+        // The λ=0 ablation drops the residual loss; reports distinguish it.
+        if self.cfg.lambda == 0.0 {
+            "MSD-Mixer-L"
+        } else {
+            "MSD-Mixer"
+        }
+    }
+
+    fn task(&self) -> &Task {
+        &self.cfg.task
+    }
+
+    fn forward(&self, ctx: &Ctx, x: &Tensor) -> ModelOutput {
+        MsdMixer::forward(self, ctx, x)
+    }
+
+    /// `L = L_t + λ·L_r` (Eq. 7): the default task loss plus the residual
+    /// term — the one override in the codebase.
+    fn loss(&self, ctx: &Ctx, out: &ModelOutput, target: &Target) -> Var {
+        MsdMixer::loss(self, ctx.g, out, target)
     }
 }
 
@@ -218,7 +221,7 @@ mod tests {
         let mut rng2 = Rng::seed_from(45);
         let ctx = Ctx::new(&g, &store, &mut rng2);
         let out = model.forward(&ctx, &x);
-        let mut sum = g.value(out.residual);
+        let mut sum = g.value(out.residual.unwrap());
         for &s in &out.components {
             sum.add_assign(&g.value(s));
         }

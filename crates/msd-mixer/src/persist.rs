@@ -6,7 +6,7 @@
 //! line, followed by the `msd-nn` binary checkpoint.
 
 use crate::{MsdMixer, MsdMixerConfig};
-use msd_nn::{serialize, ParamStore, Task};
+use msd_nn::{store as nn_store, ParamStore, Task};
 use msd_tensor::rng::Rng;
 use std::io::{self, BufRead, BufReader, Read, Write};
 
@@ -38,7 +38,7 @@ pub fn save_model(model: &MsdMixer, store: &ParamStore, w: &mut impl Write) -> i
     };
     writeln!(w, "task={task}")?;
     writeln!(w)?;
-    serialize::save(store, w)
+    nn_store::save(store, w)
 }
 
 /// Reads a model saved by [`save_model`], rebuilding the architecture from
@@ -104,7 +104,10 @@ pub fn load_model(r: &mut impl Read) -> io::Result<(MsdMixer, ParamStore)> {
     let mut store = ParamStore::new();
     let mut rng = Rng::seed_from(0);
     let model = MsdMixer::new(&mut store, &mut rng, &cfg);
-    serialize::load(&mut store, &mut reader)?;
+    // `nn_store::load` sniffs the stream magic, so both new files (the
+    // header followed by an MSDCKPT2 container) and files written before
+    // the unified API (header + raw MSDCKPT1 stream) load here.
+    nn_store::load(&mut store, &mut reader)?;
     Ok((model, store))
 }
 
@@ -219,6 +222,46 @@ mod tests {
         std::fs::write(&path, &flipped).unwrap();
         assert!(load_model_file(&path).is_err(), "bit flip accepted");
         let _ = std::fs::remove_file(&path);
+    }
+
+    /// The parameter stream exactly as the pre-unification
+    /// `msd_nn::serialize::save` wrote it (raw `MSDCKPT1`, no container).
+    fn legacy_ckpt1_stream(store: &ParamStore) -> Vec<u8> {
+        let mut w = Vec::new();
+        w.extend_from_slice(b"MSDCKPT1");
+        w.extend_from_slice(&(store.len() as u32).to_le_bytes());
+        for (_, name, value) in store.iter() {
+            w.extend_from_slice(&(name.len() as u32).to_le_bytes());
+            w.extend_from_slice(name.as_bytes());
+            w.extend_from_slice(&(value.ndim() as u32).to_le_bytes());
+            for &d in value.shape() {
+                w.extend_from_slice(&(d as u32).to_le_bytes());
+            }
+            for &x in value.data() {
+                w.extend_from_slice(&x.to_le_bytes());
+            }
+        }
+        w
+    }
+
+    #[test]
+    fn files_written_before_unified_api_still_load() {
+        // Old save_model wrote header + raw MSDCKPT1; reconstruct exactly
+        // that byte layout and prove the migrated loader still reads it.
+        let (model, store, x) = trained_fixture();
+        let mut new_buf = Vec::new();
+        save_model(&model, &store, &mut new_buf).unwrap();
+        let at = new_buf
+            .windows(8)
+            .position(|w| w == b"MSDCKPT2")
+            .expect("new format embeds a container");
+        let mut old_buf = new_buf[..at].to_vec();
+        old_buf.extend_from_slice(&legacy_ckpt1_stream(&store));
+
+        let (restored_model, restored_store) = load_model(&mut old_buf.as_slice()).unwrap();
+        let before = model.predict(&store, &x);
+        let after = restored_model.predict(&restored_store, &x);
+        assert_eq!(before.data(), after.data(), "legacy load not bit-exact");
     }
 
     #[test]

@@ -23,16 +23,19 @@
 mod ctx;
 mod init;
 mod layers;
+mod model;
 mod optim;
 mod params;
 mod schedule;
 mod task;
 pub mod checkpoint;
 pub mod serialize;
+pub mod store;
 
 pub use ctx::Ctx;
 pub use init::{kaiming_normal, xavier_uniform};
 pub use layers::{LayerNorm, Linear, MlpBlock};
+pub use model::{default_task_loss, DynModel, EvalScratch, Model, ModelOutput, Target};
 pub use optim::{Adam, AdamConfig, OptimState, Optimizer, Sgd};
 pub use params::ParamStore;
 pub use schedule::LrSchedule;

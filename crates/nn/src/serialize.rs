@@ -1,5 +1,9 @@
-//! Checkpoint serialisation: a tiny self-describing binary format so model
-//! weights can be saved and restored without external format crates.
+//! Legacy checkpoint serialisation: the raw `MSDCKPT1` parameter stream.
+//!
+//! Superseded by [`crate::store`], which wraps this stream in the
+//! CRC-protected `MSDCKPT2` container and still loads every legacy raw file.
+//! [`save`] and [`load`] remain as deprecated shims so old callers keep
+//! compiling; new code should use `msd_nn::store::{save, load}`.
 //!
 //! Layout (little-endian):
 //!
@@ -18,7 +22,26 @@ use std::io::{self, Read, Write};
 const MAGIC: &[u8; 8] = b"MSDCKPT1";
 
 /// Writes every parameter of `store` to `w`.
+///
+/// Deprecated shim over [`crate::store::save`]: it now writes the
+/// CRC-protected `MSDCKPT2` container, which [`load`] (and the new API)
+/// read alongside legacy raw streams.
+#[deprecated(since = "0.1.0", note = "use msd_nn::store::save (CRC-protected container)")]
 pub fn save(store: &ParamStore, w: &mut impl Write) -> io::Result<()> {
+    crate::store::save(store, w)
+}
+
+/// Reads a checkpoint (container or legacy raw stream) into `store`.
+///
+/// Deprecated shim over [`crate::store::load`].
+#[deprecated(since = "0.1.0", note = "use msd_nn::store::load (accepts legacy files too)")]
+pub fn load(store: &mut ParamStore, r: &mut impl Read) -> io::Result<()> {
+    crate::store::load(store, r)
+}
+
+/// Writes the raw `MSDCKPT1` stream (no container). Internal: the container
+/// section payload written by [`crate::store`] is exactly this stream.
+pub(crate) fn save_raw(store: &ParamStore, w: &mut impl Write) -> io::Result<()> {
     w.write_all(MAGIC)?;
     w.write_all(&(store.len() as u32).to_le_bytes())?;
     for (_, name, value) in store.iter() {
@@ -44,7 +67,7 @@ pub fn save(store: &ParamStore, w: &mut impl Write) -> io::Result<()> {
 /// header errors cleanly instead of attempting a multi-gigabyte `Vec`.
 /// All tensors are staged and validated first and committed to the store
 /// all-or-nothing — a mid-stream error leaves the store untouched.
-pub fn load(store: &mut ParamStore, r: &mut impl Read) -> io::Result<()> {
+pub(crate) fn load_raw(store: &mut ParamStore, r: &mut impl Read) -> io::Result<()> {
     let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
@@ -116,6 +139,7 @@ fn read_u32(r: &mut impl Read) -> io::Result<u32> {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the shims' own regression tests exercise them directly
 mod tests {
     use super::*;
     use msd_tensor::rng::Rng;
@@ -133,11 +157,11 @@ mod tests {
     fn save_load_round_trip() {
         let store = sample_store();
         let mut buf = Vec::new();
-        save(&store, &mut buf).unwrap();
+        save_raw(&store, &mut buf).unwrap();
         let mut restored = sample_store();
         // Perturb, then restore.
         restored.get_mut(0).data_mut()[0] = 1234.0;
-        load(&mut restored, &mut buf.as_slice()).unwrap();
+        load_raw(&mut restored, &mut buf.as_slice()).unwrap();
         assert_eq!(restored.get(0), store.get(0));
         assert_eq!(restored.get(1), store.get(1));
     }
@@ -145,7 +169,7 @@ mod tests {
     #[test]
     fn load_rejects_wrong_magic() {
         let mut store = sample_store();
-        let err = load(&mut store, &mut &b"NOTACKPT........"[..]).unwrap_err();
+        let err = load_raw(&mut store, &mut &b"NOTACKPT........"[..]).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
     }
 
@@ -153,11 +177,11 @@ mod tests {
     fn load_rejects_name_mismatch() {
         let store = sample_store();
         let mut buf = Vec::new();
-        save(&store, &mut buf).unwrap();
+        save_raw(&store, &mut buf).unwrap();
         let mut other = ParamStore::new();
         other.register("different.w", Tensor::zeros(&[3, 4]));
         other.register("layer.b", Tensor::zeros(&[4]));
-        assert!(load(&mut other, &mut buf.as_slice()).is_err());
+        assert!(load_raw(&mut other, &mut buf.as_slice()).is_err());
     }
 
     #[test]
@@ -166,13 +190,13 @@ mod tests {
         // rejected against the store's registered shape, not allocated.
         let store = sample_store();
         let mut buf = Vec::new();
-        save(&store, &mut buf).unwrap();
+        save_raw(&store, &mut buf).unwrap();
         // Locate the rank field of param 0: magic(8) + count(4) +
         // name_len(4) + name("layer.w" = 7) → rank at 23, dims follow.
         let dims_at = 8 + 4 + 4 + 7 + 4;
         buf[dims_at..dims_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
         let mut restored = sample_store();
-        let err = load(&mut restored, &mut buf.as_slice()).unwrap_err();
+        let err = load_raw(&mut restored, &mut buf.as_slice()).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
         assert!(err.to_string().contains("dim"), "{err}");
     }
@@ -181,11 +205,11 @@ mod tests {
     fn huge_name_len_errors_before_allocating() {
         let store = sample_store();
         let mut buf = Vec::new();
-        save(&store, &mut buf).unwrap();
+        save_raw(&store, &mut buf).unwrap();
         // name_len field of param 0 is at offset 12.
         buf[12..16].copy_from_slice(&u32::MAX.to_le_bytes());
         let mut restored = sample_store();
-        let err = load(&mut restored, &mut buf.as_slice()).unwrap_err();
+        let err = load_raw(&mut restored, &mut buf.as_slice()).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
         assert!(err.to_string().contains("name length"), "{err}");
     }
@@ -196,7 +220,7 @@ mod tests {
         // valid first tensor: staging is all-or-nothing.
         let store = sample_store();
         let mut buf = Vec::new();
-        save(&store, &mut buf).unwrap();
+        save_raw(&store, &mut buf).unwrap();
 
         // Corrupt the second param's name ("layer.b" → "layer.X").
         let needle = b"layer.b";
@@ -214,7 +238,7 @@ mod tests {
             .iter()
             .map(|(_, _, v)| v.data().iter().map(|x| x.to_bits()).collect())
             .collect();
-        assert!(load(&mut restored, &mut buf.as_slice()).is_err());
+        assert!(load_raw(&mut restored, &mut buf.as_slice()).is_err());
         let after: Vec<Vec<u32>> = restored
             .iter()
             .map(|(_, _, v)| v.data().iter().map(|x| x.to_bits()).collect())
@@ -223,9 +247,9 @@ mod tests {
 
         // Truncation mid-second-tensor must behave the same.
         let mut short = Vec::new();
-        save(&store, &mut short).unwrap();
+        save_raw(&store, &mut short).unwrap();
         short.truncate(short.len() - 3);
-        assert!(load(&mut restored, &mut short.as_slice()).is_err());
+        assert!(load_raw(&mut restored, &mut short.as_slice()).is_err());
         let after: Vec<Vec<u32>> = restored
             .iter()
             .map(|(_, _, v)| v.data().iter().map(|x| x.to_bits()).collect())
@@ -237,11 +261,11 @@ mod tests {
     fn shape_mismatch_is_an_error_not_a_panic() {
         let store = sample_store();
         let mut buf = Vec::new();
-        save(&store, &mut buf).unwrap();
+        save_raw(&store, &mut buf).unwrap();
         let mut other = ParamStore::new();
         other.register("layer.w", Tensor::zeros(&[4, 3])); // transposed
         other.register("layer.b", Tensor::zeros(&[4]));
-        let err = load(&mut other, &mut buf.as_slice()).unwrap_err();
+        let err = load_raw(&mut other, &mut buf.as_slice()).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
     }
 
@@ -249,9 +273,9 @@ mod tests {
     fn load_rejects_count_mismatch() {
         let store = sample_store();
         let mut buf = Vec::new();
-        save(&store, &mut buf).unwrap();
+        save_raw(&store, &mut buf).unwrap();
         let mut other = ParamStore::new();
         other.register("layer.w", Tensor::zeros(&[3, 4]));
-        assert!(load(&mut other, &mut buf.as_slice()).is_err());
+        assert!(load_raw(&mut other, &mut buf.as_slice()).is_err());
     }
 }

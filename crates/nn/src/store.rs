@@ -1,0 +1,203 @@
+//! The one parameter-persistence API.
+//!
+//! Historically weights could be saved three ways: the raw `MSDCKPT1` stream
+//! ([`crate::serialize`]), the CRC-protected `MSDCKPT2` container
+//! ([`crate::checkpoint`]), and `msd_mixer::persist`'s header-plus-stream
+//! format. This module collapses them: [`save`] always writes an `MSDCKPT2`
+//! container holding the parameter stream in a named section, and [`load`]
+//! sniffs the magic so it accepts both new containers **and** every legacy
+//! raw-`MSDCKPT1` file ever written — old checkpoints keep loading through
+//! the one new API. The old entry points remain as `#[deprecated]` shims
+//! over this module.
+//!
+//! `save`/`load` work on byte streams; [`save_file`]/[`load_file`] add the
+//! crash-safe file discipline (atomic tmp+fsync+rename install, CRC
+//! verification before any payload is parsed).
+
+use crate::{checkpoint, ParamStore};
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+/// Section name holding the parameter stream inside the container.
+pub const PARAMS_SECTION: &str = "params";
+
+/// Writes every parameter of `store` to `w` as an `MSDCKPT2` container with
+/// a single [`PARAMS_SECTION`] section (CRC-protected per section and
+/// whole-body).
+pub fn save(store: &ParamStore, w: &mut impl Write) -> io::Result<()> {
+    w.write_all(&encode(store))
+}
+
+/// Encodes the store to container bytes (the in-memory form of [`save`]).
+pub fn encode(store: &ParamStore) -> Vec<u8> {
+    let mut payload = Vec::new();
+    crate::serialize::save_raw(store, &mut payload).expect("Vec write cannot fail");
+    checkpoint::encode_container(&[(PARAMS_SECTION, payload)])
+}
+
+/// Reads parameters from `r` into `store`, accepting both formats the repo
+/// has ever written:
+///
+/// * an `MSDCKPT2` container whose [`PARAMS_SECTION`] (or, for files from
+///   older tools, sole section) holds the `MSDCKPT1` stream — CRCs are
+///   verified before any payload is parsed;
+/// * a legacy raw `MSDCKPT1` stream.
+///
+/// Validation matches [`crate::serialize::load`]: counts, names, and shapes
+/// are checked against the store before allocation, and the store is
+/// updated all-or-nothing.
+pub fn load(store: &mut ParamStore, r: &mut impl Read) -> io::Result<()> {
+    let mut bytes = Vec::new();
+    r.read_to_end(&mut bytes)?;
+    decode(store, &bytes)
+}
+
+/// Decodes container-or-legacy bytes into `store` (the in-memory form of
+/// [`load`]).
+pub fn decode(store: &mut ParamStore, bytes: &[u8]) -> io::Result<()> {
+    let stream: &[u8];
+    let sections;
+    if bytes.starts_with(checkpoint::MAGIC) {
+        sections = checkpoint::decode_container(bytes)?;
+        let section = sections
+            .iter()
+            .find(|(name, _)| name == PARAMS_SECTION)
+            .or_else(|| if sections.len() == 1 { sections.first() } else { None })
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("container has no '{PARAMS_SECTION}' section"),
+                )
+            })?;
+        stream = &section.1;
+    } else {
+        // Legacy raw MSDCKPT1 stream (or garbage — the raw codec rejects
+        // bad magic with InvalidData either way).
+        stream = bytes;
+    }
+    crate::serialize::load_raw(store, &mut { stream })
+}
+
+/// Saves the store to `path` crash-safely: container bytes installed via
+/// atomic tmp sibling + fsync + rename, so a crash mid-save can never leave
+/// a torn file behind.
+pub fn save_file(store: &ParamStore, path: impl AsRef<Path>) -> io::Result<()> {
+    checkpoint::write_atomic(path.as_ref(), &encode(store))
+}
+
+/// Loads parameters from `path` (new container or legacy raw stream),
+/// verifying container CRCs before any payload is parsed.
+pub fn load_file(store: &mut ParamStore, path: impl AsRef<Path>) -> io::Result<()> {
+    let bytes = std::fs::read(path.as_ref())?;
+    decode(store, &bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msd_tensor::rng::Rng;
+    use msd_tensor::Tensor;
+
+    fn sample_store(seed: u64) -> ParamStore {
+        let mut rng = Rng::seed_from(seed);
+        let mut store = ParamStore::new();
+        store.register("layer.w", Tensor::randn(&[3, 4], 1.0, &mut rng));
+        store.register("layer.b", Tensor::randn(&[4], 1.0, &mut rng));
+        store
+    }
+
+    fn bits(store: &ParamStore) -> Vec<Vec<u32>> {
+        store
+            .iter()
+            .map(|(_, _, v)| v.data().iter().map(|x| x.to_bits()).collect())
+            .collect()
+    }
+
+    #[test]
+    fn round_trip_is_bit_exact() {
+        let store = sample_store(1);
+        let mut buf = Vec::new();
+        save(&store, &mut buf).unwrap();
+        assert!(buf.starts_with(checkpoint::MAGIC), "save must write MSDCKPT2");
+        let mut restored = sample_store(2);
+        load(&mut restored, &mut buf.as_slice()).unwrap();
+        assert_eq!(bits(&store), bits(&restored));
+    }
+
+    #[test]
+    fn legacy_msdckpt1_files_still_load() {
+        // A raw stream written by the *old* API loads through the new one.
+        let store = sample_store(3);
+        let mut legacy = Vec::new();
+        crate::serialize::save_raw(&store, &mut legacy).unwrap();
+        assert!(legacy.starts_with(b"MSDCKPT1"));
+        let mut restored = sample_store(4);
+        load(&mut restored, &mut legacy.as_slice()).unwrap();
+        assert_eq!(bits(&store), bits(&restored));
+    }
+
+    #[test]
+    fn deprecated_shims_and_new_api_interoperate() {
+        // Old save → new load and new save → old load both work, so callers
+        // can migrate one side at a time.
+        let store = sample_store(5);
+        let mut via_old = Vec::new();
+        #[allow(deprecated)]
+        crate::serialize::save(&store, &mut via_old).unwrap();
+        let mut a = sample_store(6);
+        load(&mut a, &mut via_old.as_slice()).unwrap();
+        assert_eq!(bits(&store), bits(&a));
+
+        let mut via_new = Vec::new();
+        save(&store, &mut via_new).unwrap();
+        let mut b = sample_store(7);
+        #[allow(deprecated)]
+        crate::serialize::load(&mut b, &mut via_new.as_slice()).unwrap();
+        assert_eq!(bits(&store), bits(&b));
+    }
+
+    #[test]
+    fn container_corruption_is_detected() {
+        let store = sample_store(8);
+        let mut buf = Vec::new();
+        save(&store, &mut buf).unwrap();
+        // Any flipped payload bit trips a CRC before parsing.
+        let mid = buf.len() / 2;
+        buf[mid] ^= 0x01;
+        let mut restored = sample_store(9);
+        let before = bits(&restored);
+        let err = load(&mut restored, &mut buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert_eq!(before, bits(&restored), "failed load mutated the store");
+    }
+
+    #[test]
+    fn file_round_trip_and_legacy_file_load() {
+        let dir = std::env::temp_dir();
+        let store = sample_store(10);
+
+        let new_path = dir.join("msd_store_new.ckpt");
+        save_file(&store, &new_path).unwrap();
+        let mut restored = sample_store(11);
+        load_file(&mut restored, &new_path).unwrap();
+        assert_eq!(bits(&store), bits(&restored));
+        let _ = std::fs::remove_file(&new_path);
+
+        // A legacy raw-stream *file* loads through load_file too.
+        let old_path = dir.join("msd_store_legacy.ckpt");
+        let mut legacy = Vec::new();
+        crate::serialize::save_raw(&store, &mut legacy).unwrap();
+        std::fs::write(&old_path, &legacy).unwrap();
+        let mut restored = sample_store(12);
+        load_file(&mut restored, &old_path).unwrap();
+        assert_eq!(bits(&store), bits(&restored));
+        let _ = std::fs::remove_file(&old_path);
+    }
+
+    #[test]
+    fn garbage_is_invalid_data_not_a_panic() {
+        let mut store = sample_store(13);
+        let err = load(&mut store, &mut &b"definitely not a checkpoint"[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+}

@@ -1,0 +1,408 @@
+#![warn(missing_docs)]
+
+//! # msd-serve
+//!
+//! A batched, multi-threaded inference runtime over the unified
+//! [`msd_nn::Model`] trait: callers submit single samples, the runtime
+//! packs same-shape requests into micro-batches, evaluates each batch with
+//! one tape-free forward pass on a worker pool, and splits the result back
+//! into per-request responses.
+//!
+//! The design contract, in order of importance:
+//!
+//! 1. **Bit-identity** — a batched answer is the *exact* bytes the caller
+//!    would get from a sequential [`msd_nn::Model::predict`] call, for
+//!    every batch composition. This holds because the tensor kernels
+//!    accumulate each output element in a fixed order independent of the
+//!    batch extent, and eval-mode forwards are deterministic, so batching
+//!    is purely a throughput optimisation, never an accuracy trade.
+//! 2. **No lost requests** — every admitted request receives exactly one
+//!    response, even when a worker panics mid-batch (the panic is caught
+//!    and surfaced as [`ServeError::Internal`] to that batch's callers)
+//!    and during shutdown (in-flight batches drain before workers exit).
+//! 3. **Typed backpressure** — when the bounded queue is full, submission
+//!    fails *immediately* with [`ServeError::Overloaded`]; the runtime
+//!    never panics and never blocks the caller on admission.
+//!
+//! ## Anatomy
+//!
+//! ```text
+//! submit() --try_send--> [bounded queue] --> batcher --> [batch queue] --> workers
+//!    |                                        (groups same-shape requests      |
+//!    |                                         until max_batch or max_wait)    |
+//!    '<------------------- per-request response channel <-----------------'
+//! ```
+//!
+//! The batcher is a single thread, so batch composition is deterministic
+//! given an arrival order. Workers each own an [`msd_nn::EvalScratch`] so
+//! repeated forwards reuse tape allocations. Counters ([`ServeStats`]) are
+//! always on; JSONL telemetry ([`ServeEvent`]) is opt-in via
+//! [`ServeConfig::events_path`] and mirrors the training telemetry schema.
+
+mod events;
+pub mod loadgen;
+mod stats;
+
+pub use events::ServeEvent;
+pub use stats::ServeStats;
+
+use std::panic::AssertUnwindSafe;
+use std::path::PathBuf;
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use events::EventSink;
+use msd_nn::{EvalScratch, Model, ParamStore};
+use msd_tensor::Tensor;
+use stats::StatsInner;
+
+/// Tuning knobs for [`Server::start`].
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Largest micro-batch the batcher will pack (≥ 1).
+    pub max_batch: usize,
+    /// Longest a seed request waits for companions before its batch is
+    /// dispatched anyway. Zero disables coalescing entirely: every request
+    /// ships as a batch of one.
+    pub max_wait: Duration,
+    /// Bound of the admission queue; a full queue rejects with
+    /// [`ServeError::Overloaded`].
+    pub queue_cap: usize,
+    /// Worker threads evaluating batches (≥ 1). Distinct from
+    /// `MSD_NUM_THREADS`, which controls intra-op parallelism *inside* one
+    /// forward pass.
+    pub workers: usize,
+    /// Optional JSONL sink for [`ServeEvent`] telemetry.
+    pub events_path: Option<PathBuf>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_batch: 32,
+            max_wait: Duration::from_micros(500),
+            queue_cap: 256,
+            workers: 4,
+            events_path: None,
+        }
+    }
+}
+
+/// Why the runtime could not (or will not) answer a request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// The admission queue was full; retry later or shed load.
+    Overloaded,
+    /// The server is shutting down and no longer admits requests.
+    ShuttingDown,
+    /// The runtime dropped the response channel without answering. This is
+    /// a bug guard; the drain invariant means callers should never see it.
+    Canceled,
+    /// A worker panicked while evaluating the batch containing this
+    /// request; the payload is the panic message.
+    Internal(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Overloaded => write!(f, "admission queue full"),
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::Canceled => write!(f, "request canceled without a response"),
+            ServeError::Internal(msg) => write!(f, "internal serving error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// One admitted request travelling through the runtime.
+struct Request {
+    x: Tensor,
+    admitted: Instant,
+    resp: SyncSender<Result<Tensor, ServeError>>,
+}
+
+/// A handle to one in-flight request.
+pub struct Pending {
+    rx: Receiver<Result<Tensor, ServeError>>,
+}
+
+impl Pending {
+    /// Blocks until the response arrives.
+    pub fn wait(self) -> Result<Tensor, ServeError> {
+        self.rx.recv().unwrap_or(Err(ServeError::Canceled))
+    }
+
+    /// Returns the response if it has already arrived.
+    pub fn try_wait(&mut self) -> Option<Result<Tensor, ServeError>> {
+        match self.rx.try_recv() {
+            Ok(r) => Some(r),
+            Err(std::sync::mpsc::TryRecvError::Empty) => None,
+            Err(std::sync::mpsc::TryRecvError::Disconnected) => Some(Err(ServeError::Canceled)),
+        }
+    }
+}
+
+/// State shared by the intake, the batcher, and every worker.
+struct Shared {
+    stats: StatsInner,
+    events: EventSink,
+}
+
+/// The running inference server. Dropping it (or calling
+/// [`Server::shutdown`]) drains all in-flight work before returning.
+pub struct Server {
+    intake: Option<SyncSender<Request>>,
+    batcher: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Spawns the batcher and worker threads and starts serving `model`
+    /// with the (frozen) parameters in `store`.
+    ///
+    /// Fails only if `cfg.events_path` cannot be opened for appending.
+    pub fn start(
+        model: impl Model + Send + Sync + 'static,
+        store: ParamStore,
+        cfg: ServeConfig,
+    ) -> std::io::Result<Server> {
+        let max_batch = cfg.max_batch.max(1);
+        let workers = cfg.workers.max(1);
+        let events = match &cfg.events_path {
+            Some(path) => EventSink::to_path(path)?,
+            None => EventSink::disabled(),
+        };
+        let shared = Arc::new(Shared {
+            stats: StatsInner::default(),
+            events,
+        });
+        let engine: Arc<(Box<dyn Model + Send + Sync>, ParamStore)> =
+            Arc::new((Box::new(model), store));
+
+        let (intake_tx, intake_rx) = sync_channel::<Request>(cfg.queue_cap.max(1));
+        // The batch queue is bounded by the worker count: if every worker
+        // is busy, the batcher blocks here, the admission queue fills, and
+        // intake starts rejecting — backpressure propagates to callers as
+        // typed errors instead of unbounded memory growth.
+        let (batch_tx, batch_rx) = sync_channel::<Vec<Request>>(workers);
+        let batch_rx = Arc::new(Mutex::new(batch_rx));
+
+        let batcher = {
+            let shared = Arc::clone(&shared);
+            let max_wait = cfg.max_wait;
+            std::thread::Builder::new()
+                .name("msd-serve-batcher".into())
+                .spawn(move || batcher_loop(intake_rx, batch_tx, max_batch, max_wait, &shared))
+                .expect("spawn batcher thread")
+        };
+        let workers = (0..workers)
+            .map(|i| {
+                let engine = Arc::clone(&engine);
+                let rx = Arc::clone(&batch_rx);
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("msd-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&engine, &rx, &shared))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+
+        Ok(Server {
+            intake: Some(intake_tx),
+            batcher: Some(batcher),
+            workers,
+            shared,
+        })
+    }
+
+    /// Submits one sample (shaped `[1, C, L]`, matching
+    /// [`msd_nn::Model::predict_batch`]'s per-sample convention) and
+    /// returns a handle to the in-flight response.
+    ///
+    /// Never blocks: a full queue is an immediate [`ServeError::Overloaded`].
+    pub fn submit(&self, x: Tensor) -> Result<Pending, ServeError> {
+        let intake = self.intake.as_ref().ok_or(ServeError::ShuttingDown)?;
+        let (tx, rx) = sync_channel(1);
+        let req = Request {
+            x,
+            admitted: Instant::now(),
+            resp: tx,
+        };
+        match intake.try_send(req) {
+            Ok(()) => {
+                self.shared.stats.note_submit();
+                Ok(Pending { rx })
+            }
+            Err(TrySendError::Full(_)) => {
+                self.shared.stats.note_reject();
+                self.shared.events.emit(&ServeEvent::Reject);
+                Err(ServeError::Overloaded)
+            }
+            Err(TrySendError::Disconnected(_)) => Err(ServeError::ShuttingDown),
+        }
+    }
+
+    /// [`Server::submit`] + [`Pending::wait`] in one blocking call.
+    pub fn infer(&self, x: Tensor) -> Result<Tensor, ServeError> {
+        self.submit(x)?.wait()
+    }
+
+    /// A live snapshot of the runtime's counters.
+    pub fn stats(&self) -> ServeStats {
+        self.shared.stats.snapshot()
+    }
+
+    /// Stops admitting requests, drains every in-flight batch, joins all
+    /// threads, and returns the final counters.
+    pub fn shutdown(mut self) -> ServeStats {
+        self.drain();
+        let stats = self.shared.stats.snapshot();
+        self.shared.events.emit(&ServeEvent::Stop {
+            stats: stats.clone(),
+        });
+        self.shared.events.flush();
+        stats
+    }
+
+    fn drain(&mut self) {
+        // Dropping the intake sender ends the batcher's recv loop once the
+        // queue is empty; the batcher then drops the batch sender, which
+        // ends the workers once dispatched batches are answered.
+        drop(self.intake.take());
+        if let Some(b) = self.batcher.take() {
+            let _ = b.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.drain();
+        self.shared.events.flush();
+    }
+}
+
+/// Groups admitted requests into micro-batches.
+///
+/// A batch is seeded by the first waiting request, then grows with every
+/// same-shape arrival until it reaches `max_batch` or the seed has waited
+/// `max_wait`. A differently-shaped arrival closes the current batch and
+/// seeds the next one, so mixed-shape traffic degrades to smaller batches
+/// instead of failing.
+fn batcher_loop(
+    rx: Receiver<Request>,
+    tx: SyncSender<Vec<Request>>,
+    max_batch: usize,
+    max_wait: Duration,
+    shared: &Shared,
+) {
+    let mut pending: Option<Request> = None;
+    loop {
+        let seed = match pending.take() {
+            Some(r) => r,
+            None => match rx.recv() {
+                Ok(r) => r,
+                Err(_) => break, // intake closed and queue drained
+            },
+        };
+        let deadline = Instant::now() + max_wait;
+        let mut batch = vec![seed];
+        while batch.len() < max_batch {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            match rx.recv_timeout(deadline - now) {
+                Ok(r) => {
+                    if r.x.shape() == batch[0].x.shape() {
+                        batch.push(r);
+                    } else {
+                        pending = Some(r);
+                        break;
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => break,
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        shared.stats.note_batch(batch.len());
+        if tx.send(batch).is_err() {
+            break; // every worker is gone; no one left to answer
+        }
+    }
+    // Unreachable unless the worker pool died with a batch seeded: answer
+    // rather than drop it, upholding the one-response-per-request invariant.
+    if let Some(r) = pending.take() {
+        let _ = r
+            .resp
+            .send(Err(ServeError::Internal("worker pool exited".into())));
+        shared.stats.note_failed(1);
+    }
+}
+
+/// Evaluates batches until the batch queue closes.
+fn worker_loop(
+    engine: &(Box<dyn Model + Send + Sync>, ParamStore),
+    rx: &Mutex<Receiver<Vec<Request>>>,
+    shared: &Shared,
+) {
+    let (model, store) = engine;
+    let mut scratch = EvalScratch::new();
+    loop {
+        // Hold the lock only for the dequeue so workers drain in parallel.
+        let batch = {
+            let guard = rx.lock().unwrap_or_else(|p| p.into_inner());
+            match guard.recv() {
+                Ok(b) => b,
+                Err(_) => break,
+            }
+        };
+        let xs: Vec<Tensor> = batch.iter().map(|r| r.x.clone()).collect();
+        let t0 = Instant::now();
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            model.predict_batch_with(&mut scratch, store, &xs)
+        }));
+        let eval_us = t0.elapsed().as_micros() as u64;
+        match result {
+            Ok(ys) => {
+                let size = batch.len();
+                for (req, y) in batch.into_iter().zip(ys) {
+                    shared.stats.note_done(req.admitted.elapsed().as_micros() as u64);
+                    let _ = req.resp.send(Ok(y));
+                }
+                shared.events.emit(&ServeEvent::BatchEnd { size, eval_us });
+            }
+            Err(payload) => {
+                // The half-built tape is gone with the unwound stack; start
+                // the scratch arena fresh rather than reason about its state.
+                scratch = EvalScratch::new();
+                let message = panic_message(payload.as_ref());
+                shared.stats.note_failed(batch.len());
+                for req in batch {
+                    let _ = req.resp.send(Err(ServeError::Internal(message.clone())));
+                }
+                shared.events.emit(&ServeEvent::WorkerPanic { message });
+            }
+        }
+    }
+}
+
+// Takes the unboxed trait object: coercing `&Box<dyn Any>` would downcast
+// against the Box itself and never match the payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked".to_string()
+    }
+}

@@ -1,0 +1,176 @@
+//! Always-on serving counters.
+//!
+//! Every request that enters the runtime is accounted for exactly once in
+//! the terminal counters (`completed + failed + rejected == submitted` after
+//! a drained shutdown), so a lost response is directly observable as a
+//! counter imbalance rather than a silent hang.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Internal live counters shared by the intake, batcher, and workers.
+///
+/// Counters are plain relaxed atomics: they order nothing, they only count.
+/// Latencies are appended under a mutex; the hot path holds it for one push.
+#[derive(Default)]
+pub(crate) struct StatsInner {
+    submitted: AtomicU64,
+    rejected: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    batches: AtomicU64,
+    batched: AtomicU64,
+    latencies_us: Mutex<Vec<u64>>,
+}
+
+impl StatsInner {
+    pub(crate) fn note_submit(&self) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_reject(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_batch(&self, size: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched.fetch_add(size as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_done(&self, latency_us: u64) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.latencies_us
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .push(latency_us);
+    }
+
+    pub(crate) fn note_failed(&self, n: usize) {
+        self.failed.fetch_add(n as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> ServeStats {
+        let mut lat = self
+            .latencies_us
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone();
+        lat.sort_unstable();
+        let batches = self.batches.load(Ordering::Relaxed);
+        let batched = self.batched.load(Ordering::Relaxed);
+        ServeStats {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            batches,
+            mean_batch: if batches == 0 {
+                0.0
+            } else {
+                batched as f64 / batches as f64
+            },
+            p50_us: percentile(&lat, 0.50),
+            p95_us: percentile(&lat, 0.95),
+            p99_us: percentile(&lat, 0.99),
+        }
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample (0 when empty).
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// A point-in-time snapshot of the runtime's counters.
+///
+/// Request latency is measured from admission into the queue to the moment
+/// the response is handed back, so it includes batching wait and queueing
+/// delay, not just model evaluation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServeStats {
+    /// Requests admitted into the queue (excludes rejected ones).
+    pub submitted: u64,
+    /// Requests refused at intake because the queue was full.
+    pub rejected: u64,
+    /// Requests answered with a prediction.
+    pub completed: u64,
+    /// Requests answered with [`crate::ServeError::Internal`].
+    pub failed: u64,
+    /// Micro-batches dispatched to workers.
+    pub batches: u64,
+    /// Mean requests per dispatched batch.
+    pub mean_batch: f64,
+    /// Median end-to-end request latency, microseconds.
+    pub p50_us: u64,
+    /// 95th-percentile end-to-end request latency, microseconds.
+    pub p95_us: u64,
+    /// 99th-percentile end-to-end request latency, microseconds.
+    pub p99_us: u64,
+}
+
+impl ServeStats {
+    /// Renders the snapshot as one JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(192);
+        let _ = write!(
+            s,
+            "{{\"submitted\":{},\"rejected\":{},\"completed\":{},\"failed\":{},\
+             \"batches\":{},\"mean_batch\":{:.3},\"p50_us\":{},\"p95_us\":{},\"p99_us\":{}}}",
+            self.submitted,
+            self.rejected,
+            self.completed,
+            self.failed,
+            self.batches,
+            self.mean_batch,
+            self.p50_us,
+            self.p95_us,
+            self.p99_us
+        );
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let lat: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&lat, 0.50), 50);
+        assert_eq!(percentile(&lat, 0.95), 95);
+        assert_eq!(percentile(&lat, 0.99), 99);
+        assert_eq!(percentile(&[7], 0.99), 7);
+        assert_eq!(percentile(&[], 0.5), 0);
+    }
+
+    #[test]
+    fn snapshot_reflects_counters() {
+        let inner = StatsInner::default();
+        for _ in 0..4 {
+            inner.note_submit();
+        }
+        inner.note_reject();
+        inner.note_batch(3);
+        inner.note_done(10);
+        inner.note_done(20);
+        inner.note_done(30);
+        inner.note_failed(1);
+        let s = inner.snapshot();
+        assert_eq!(s.submitted, 4);
+        assert_eq!(s.rejected, 1);
+        assert_eq!(s.completed, 3);
+        assert_eq!(s.failed, 1);
+        assert_eq!(s.batches, 1);
+        assert!((s.mean_batch - 3.0).abs() < 1e-12);
+        assert_eq!(s.p50_us, 20);
+        let json = s.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        assert!(json.contains("\"completed\":3"), "{json}");
+    }
+}

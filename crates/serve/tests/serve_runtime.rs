@@ -1,0 +1,282 @@
+//! End-to-end tests of the serving runtime against a small real model:
+//! bit-identity under every batch composition, typed backpressure, panic
+//! containment, drained shutdown, and a 1000-request mixed-shape smoke.
+
+use std::time::Duration;
+
+use msd_nn::{Ctx, Linear, Model, ModelOutput, ParamStore, Task};
+use msd_serve::loadgen::{run_open_loop, sequential_baseline, LoadSpec};
+use msd_serve::{ServeConfig, ServeError, Server};
+use msd_tensor::rng::Rng;
+use msd_tensor::Tensor;
+
+/// A linear forecaster over the flattened input. `len`-generic so tests can
+/// drive mixed request shapes through one server.
+struct Affine {
+    task: Task,
+    lin: Linear,
+    out_channels: usize,
+    in_len: usize,
+}
+
+impl Affine {
+    fn new(store: &mut ParamStore, channels: usize, len: usize) -> Self {
+        let mut rng = Rng::seed_from(5);
+        Affine {
+            task: Task::Forecast { horizon: 4 },
+            lin: Linear::new(store, &mut rng, "affine", channels * len, channels * 4),
+            out_channels: channels,
+            in_len: channels * len,
+        }
+    }
+}
+
+impl Model for Affine {
+    fn name(&self) -> &str {
+        "affine"
+    }
+    fn task(&self) -> &Task {
+        &self.task
+    }
+    fn forward(&self, ctx: &Ctx, x: &Tensor) -> ModelOutput {
+        let b = x.shape()[0];
+        assert_eq!(
+            x.shape()[1] * x.shape()[2],
+            self.in_len,
+            "affine model saw an unexpected sample shape"
+        );
+        let v = ctx.g.input(x.reshape(&[b, self.in_len]));
+        let y = self.lin.forward(ctx, v);
+        ModelOutput::pred_only(ctx.g.reshape(y, &[b, self.out_channels, 4]))
+    }
+}
+
+/// The sentinel value that makes [`Tripwire`] panic mid-forward.
+const POISON: f32 = -12345.0;
+
+/// A model that panics whenever a sample starts with the poison sentinel.
+struct Tripwire(Affine);
+
+impl Model for Tripwire {
+    fn name(&self) -> &str {
+        "tripwire"
+    }
+    fn task(&self) -> &Task {
+        self.0.task()
+    }
+    fn forward(&self, ctx: &Ctx, x: &Tensor) -> ModelOutput {
+        assert!(x.data()[0] != POISON, "tripwire: poisoned sample");
+        self.0.forward(ctx, x)
+    }
+}
+
+fn sample(channels: usize, len: usize, seed: u64) -> Tensor {
+    let mut rng = Rng::seed_from(seed);
+    Tensor::randn(&[1, channels, len], 1.0, &mut rng)
+}
+
+fn assert_bits_equal(a: &Tensor, b: &Tensor, what: &str) {
+    assert_eq!(a.shape(), b.shape(), "{what}: shape");
+    for (i, (x, y)) in a.data().iter().zip(b.data()).collect::<Vec<_>>().into_iter().enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "{what}: element {i}");
+    }
+}
+
+#[test]
+fn served_responses_are_bit_identical_to_sequential_predict() {
+    let mut store = ParamStore::new();
+    let model = Affine::new(&mut store, 2, 6);
+    let inputs: Vec<Tensor> = (0..64).map(|i| sample(2, 6, 100 + i)).collect();
+    let (reference, _) = sequential_baseline(&model, &store, &inputs);
+
+    // Sweep batching regimes: no coalescing, tiny batches, large batches
+    // with a generous wait (the whole backlog packs together). Bit-identity
+    // must hold for every composition the batcher can produce.
+    for (max_batch, max_wait_us) in [(1, 0u64), (3, 2_000), (32, 20_000)] {
+        let mut store2 = ParamStore::new();
+        let model2 = Affine::new(&mut store2, 2, 6);
+        let server = Server::start(
+            model2,
+            store2,
+            ServeConfig {
+                max_batch,
+                max_wait: Duration::from_micros(max_wait_us),
+                workers: 3,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let pending: Vec<_> = inputs
+            .iter()
+            .map(|x| server.submit(x.clone()).expect("queue has room"))
+            .collect();
+        for (i, p) in pending.into_iter().enumerate() {
+            let y = p.wait().expect("request must succeed");
+            assert_bits_equal(&y, &reference[i], &format!("max_batch={max_batch} req {i}"));
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.completed, 64);
+        assert_eq!(stats.failed + stats.rejected, 0);
+        if max_batch == 1 {
+            assert_eq!(stats.batches, 64, "no coalescing at max_batch=1");
+        }
+    }
+}
+
+#[test]
+fn full_queue_rejects_with_typed_overload_error() {
+    let mut store = ParamStore::new();
+    // Large model input keeps workers busy long enough to fill the queue.
+    let model = Affine::new(&mut store, 4, 256);
+    let server = Server::start(
+        model,
+        store,
+        ServeConfig {
+            max_batch: 1,
+            max_wait: Duration::ZERO,
+            queue_cap: 2,
+            workers: 1,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let mut accepted = Vec::new();
+    let mut rejections = 0usize;
+    for i in 0..200 {
+        match server.submit(sample(4, 256, i)) {
+            Ok(p) => accepted.push(p),
+            Err(ServeError::Overloaded) => rejections += 1,
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+    assert!(rejections > 0, "a cap-2 queue must shed some of 200 instant arrivals");
+    for p in accepted {
+        p.wait().expect("accepted requests still complete");
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.rejected, rejections as u64);
+    assert_eq!(stats.submitted, 200 - rejections as u64);
+    assert_eq!(stats.completed, stats.submitted);
+}
+
+#[test]
+fn worker_panic_fails_only_that_batch_and_serving_continues() {
+    let mut store = ParamStore::new();
+    let model = Tripwire(Affine::new(&mut store, 2, 6));
+    let server = Server::start(
+        model,
+        store,
+        ServeConfig {
+            max_batch: 1, // isolate the poisoned sample in its own batch
+            max_wait: Duration::ZERO,
+            workers: 2,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let good_before = server.submit(sample(2, 6, 1)).unwrap();
+    let mut poison = sample(2, 6, 2);
+    poison.data_mut()[0] = POISON;
+    let poisoned = server.submit(poison).unwrap();
+    let good_after = server.submit(sample(2, 6, 3)).unwrap();
+
+    good_before.wait().expect("clean request before the panic");
+    match poisoned.wait() {
+        Err(ServeError::Internal(msg)) => {
+            assert!(msg.contains("tripwire"), "panic message surfaced: {msg}")
+        }
+        other => panic!("poisoned request must fail with Internal, got {other:?}"),
+    }
+    good_after
+        .wait()
+        .expect("the pool must keep serving after a contained panic");
+    let stats = server.shutdown();
+    assert_eq!(stats.completed, 2);
+    assert_eq!(stats.failed, 1);
+}
+
+#[test]
+fn shutdown_drains_every_in_flight_request() {
+    let mut store = ParamStore::new();
+    let model = Affine::new(&mut store, 2, 6);
+    let server = Server::start(
+        model,
+        store,
+        ServeConfig {
+            max_batch: 8,
+            max_wait: Duration::from_millis(5),
+            workers: 2,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let pending: Vec<_> = (0..40)
+        .map(|i| server.submit(sample(2, 6, i)).unwrap())
+        .collect();
+    let stats = server.shutdown(); // returns only after the drain
+    assert_eq!(stats.completed, 40);
+    assert_eq!(stats.failed + stats.rejected, 0);
+    for p in pending {
+        p.wait().expect("drained request still delivers its response");
+    }
+}
+
+#[test]
+fn smoke_1k_mixed_shape_requests_zero_lost_zero_corrupted() {
+    let mut store = ParamStore::new();
+    let model = Affine::new(&mut store, 2, 6);
+    // Two request shapes with equal flattened length: same model, but the
+    // batcher must never pack them together.
+    let inputs: Vec<Tensor> = (0..1000)
+        .map(|i| {
+            if i % 3 == 0 {
+                sample(2, 6, i)
+            } else {
+                sample(1, 12, i)
+            }
+        })
+        .collect();
+    let (reference, _) = sequential_baseline(&model, &store, &inputs);
+
+    let events = std::env::temp_dir().join("msd_serve_smoke_events.jsonl");
+    let _ = std::fs::remove_file(&events);
+    let mut store2 = ParamStore::new();
+    let model2 = Affine::new(&mut store2, 2, 6);
+    let server = Server::start(
+        model2,
+        store2,
+        ServeConfig {
+            max_batch: 16,
+            max_wait: Duration::from_micros(300),
+            queue_cap: 2048,
+            workers: 4,
+            events_path: Some(events.clone()),
+        },
+    )
+    .unwrap();
+    let outcome = run_open_loop(
+        &server,
+        &inputs,
+        &LoadSpec {
+            requests: 1000,
+            rate_rps: 0.0, // flat out; queue_cap covers the full load
+            seed: 7,
+        },
+    );
+    assert_eq!(outcome.responses.len(), 1000);
+    for (i, resp) in outcome.responses.iter().enumerate() {
+        let y = resp.as_ref().expect("no request may be lost or shed");
+        assert_bits_equal(y, &reference[i], &format!("smoke req {i}"));
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.submitted, 1000);
+    assert_eq!(stats.completed, 1000);
+    assert_eq!(stats.rejected + stats.failed, 0);
+    assert!(stats.mean_batch >= 1.0);
+
+    let text = std::fs::read_to_string(&events).unwrap();
+    let batch_lines = text.lines().filter(|l| l.contains("serve_batch")).count() as u64;
+    assert_eq!(batch_lines, stats.batches, "one JSONL line per batch");
+    assert!(text.lines().any(|l| l.contains("serve_stop")));
+    let _ = std::fs::remove_file(&events);
+}

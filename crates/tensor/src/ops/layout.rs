@@ -176,6 +176,41 @@ impl Tensor {
         Tensor::from_vec(&out_shape, out)
     }
 
+    /// Stacks same-shape tensors along a new leading axis: `n` tensors of
+    /// shape `[d0, d1, ..]` become one `[n, d0, d1, ..]` tensor.
+    ///
+    /// # Panics
+    /// Panics on zero tensors or a shape mismatch.
+    pub fn stack(parts: &[&Tensor]) -> Tensor {
+        assert!(!parts.is_empty(), "stack of zero tensors");
+        let first = parts[0].shape();
+        let mut out_shape = Vec::with_capacity(first.len() + 1);
+        out_shape.push(parts.len());
+        out_shape.extend_from_slice(first);
+        let mut out = Vec::with_capacity(numel(&out_shape));
+        for p in parts {
+            assert_eq!(p.shape(), first, "stack shape mismatch");
+            out.extend_from_slice(p.data());
+        }
+        Tensor::from_vec(&out_shape, out)
+    }
+
+    /// Splits the leading axis into its slices, dropping it: a
+    /// `[n, d0, d1, ..]` tensor becomes `n` tensors of shape `[d0, d1, ..]`.
+    /// Inverse of [`Tensor::stack`].
+    ///
+    /// # Panics
+    /// Panics on a rank-0 tensor.
+    pub fn unstack_leading(&self) -> Vec<Tensor> {
+        assert!(self.ndim() >= 1, "unstack_leading on rank-0 tensor");
+        let n = self.shape()[0];
+        let rest = &self.shape()[1..];
+        let block: usize = rest.iter().product();
+        (0..n)
+            .map(|i| Tensor::from_vec(rest, self.data()[i * block..(i + 1) * block].to_vec()))
+            .collect()
+    }
+
     /// Repeats the tensor `reps` times along a new leading axis.
     pub fn tile_leading(&self, reps: usize) -> Tensor {
         let mut out_shape = Vec::with_capacity(self.ndim() + 1);
@@ -281,5 +316,36 @@ mod tests {
         let r = t.tile_leading(3);
         assert_eq!(r.shape(), &[3, 2]);
         assert_eq!(r.data(), &[1.0, 2.0, 1.0, 2.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn stack_unstack_round_trips() {
+        let a = Tensor::from_vec(&[2, 3], (0..6).map(|i| i as f32).collect());
+        let b = Tensor::from_vec(&[2, 3], (6..12).map(|i| i as f32).collect());
+        let s = Tensor::stack(&[&a, &b]);
+        assert_eq!(s.shape(), &[2, 2, 3]);
+        assert_eq!(&s.data()[..6], a.data());
+        assert_eq!(&s.data()[6..], b.data());
+        let parts = s.unstack_leading();
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0], a);
+        assert_eq!(parts[1], b);
+    }
+
+    #[test]
+    fn stack_matches_concat_of_unsqueezed() {
+        let a = Tensor::from_vec(&[1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Tensor::from_vec(&[1, 2, 2], vec![5.0, 6.0, 7.0, 8.0]);
+        let via_concat = Tensor::concat(&[&a, &b], 0);
+        let via_stack = Tensor::stack(&[&a.reshape(&[2, 2]), &b.reshape(&[2, 2])]);
+        assert_eq!(via_stack, via_concat);
+    }
+
+    #[test]
+    #[should_panic(expected = "stack shape mismatch")]
+    fn stack_rejects_shape_mismatch() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[3, 2]);
+        let _ = Tensor::stack(&[&a, &b]);
     }
 }

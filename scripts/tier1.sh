@@ -60,3 +60,32 @@ cmp "$REF_PARAMS" "$RES_PARAMS" || {
   echo "kill-and-resume run is not bit-identical to the uninterrupted run" >&2; exit 1;
 }
 echo "kill-and-resume smoke OK: resumed run bit-identical"
+
+# Serving gate: the in-process 1000-request smoke (zero lost, zero
+# corrupted, every response bit-identical to sequential predict) and the
+# batch-composition property test across MSD_NUM_THREADS settings. These
+# are the serving runtime's contract and must never be filtered out.
+cargo test -p msd-serve -q --offline
+cargo test -p msd-harness --test predict_batch_bitident -q --offline
+
+# Serving benchmark: open-loop load through msd-serve, every response
+# byte-compared against sequential predict, report appended as JSONL (CI
+# uploads it as an artifact). The speedup floor here is modest because CI
+# runners may expose a single core, where only the batching win is
+# available; on >=4 cores the same configuration clears 3x. A throughput
+# floor is inherently sensitive to transient machine load, so one failure
+# earns a single retry; failing twice fails the gate.
+serve_bench() {
+  rm -f target/BENCH_serve.json
+  cargo run --release --offline -p msd-harness --bin msd-serve-bench -- \
+    --requests 256 --min-speedup 1.1 --out target/BENCH_serve.json
+}
+serve_bench || {
+  echo "serve bench below speedup floor; retrying once on a quieter machine" >&2
+  serve_bench
+}
+test -s target/BENCH_serve.json || { echo "serve bench wrote no report" >&2; exit 1; }
+grep -q '"p99_us"' target/BENCH_serve.json || {
+  echo "serve report missing latency percentiles" >&2; exit 1;
+}
+echo "serve smoke OK: report in target/BENCH_serve.json"
