@@ -12,8 +12,53 @@ pub struct Var(pub(crate) u32);
 /// (`msd-nn`'s parameter store). [`Gradients`] is indexed by it.
 pub type ParamId = usize;
 
-/// Backward rule selector, with whatever forward context the adjoint needs.
-pub(crate) enum Op {
+/// Declares the op registry: the `Op` enum, [`Op::name`], and the public
+/// [`ALL_OPS`] name list, all generated from ONE variant list so they can
+/// never drift apart. The gradcheck completeness test enumerates
+/// [`ALL_OPS`] and fails if any op lacks a gradcheck entry, so adding a
+/// variant here forces adding a gradient test.
+macro_rules! define_ops {
+    (
+        $( $(#[$m:meta])* $name:ident
+            $(( $($tty:ty),+ $(,)? ))?
+            $({ $( $(#[$fm:meta])* $fname:ident : $ftype:ty ),+ $(,)? })?
+        ),+ $(,)?
+    ) => {
+        /// Backward rule selector, with whatever forward context the
+        /// adjoint needs.
+        pub(crate) enum Op {
+            $(
+                $(#[$m])*
+                $name
+                    $(( $($tty),+ ))?
+                    $({ $( $(#[$fm])* $fname: $ftype ),+ })?
+            ),+
+        }
+
+        impl Op {
+            /// The variant's registry name, as listed in [`ALL_OPS`].
+            pub(crate) fn name(&self) -> &'static str {
+                match self {
+                    $( Op::$name { .. } => stringify!($name) ),+
+                }
+            }
+        }
+
+        impl std::fmt::Debug for Op {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.write_str(self.name())
+            }
+        }
+
+        /// Name of every registered op, in declaration order. Enumerated by
+        /// the gradcheck completeness test (`tests/op_coverage.rs`): every
+        /// entry must have a matching `// gradcheck: <Name>` marker in
+        /// `tests/gradcheck.rs`.
+        pub const ALL_OPS: &[&str] = &[ $( stringify!($name) ),+ ];
+    };
+}
+
+define_ops! {
     /// Input or parameter leaf; nothing to propagate further.
     Leaf,
     Add,
@@ -28,6 +73,11 @@ pub(crate) enum Op {
     /// Addition of a constant tensor (no gradient through the constant).
     AddConst,
     Linear,
+    /// Fused `gelu(x · W + b)`; stores the pre-activation for the backward
+    /// pass. Parents are `(x, w[, b])`, exactly like [`Op::Linear`].
+    LinearGelu {
+        pre: Tensor,
+    },
     /// `bias` is parent 2 when present.
     Matmul {
         rhs_is_2d: bool,
@@ -66,6 +116,12 @@ pub(crate) enum Op {
     MulBcastLast,
     /// `y[..., j] = a[..., j] + b[j]` with `b` 1-D over the last axis.
     AddBcastLast,
+    /// Fused LayerNorm over the last axis; stores the per-row statistics
+    /// for the backward pass. Parents are `(x, gamma, beta)`.
+    LayerNorm {
+        mean: Tensor,
+        rstd: Tensor,
+    },
     /// Non-overlapping max pooling over the last axis; stores the winning
     /// flat indices for the backward scatter.
     MaxPoolLast {
@@ -430,9 +486,43 @@ pub(crate) fn backward_op(node: &Node, grad_out: &Tensor, nodes: &[Node]) -> Vec
             out
         }
         Op::Gelu => {
+            // Fused dy * gelu'(x) in one SIMD sweep.
             let x = pv(0);
-            let dx = x.map(msd_tensor::ops::gelu_grad_scalar);
-            vec![Some(grad_out.mul(&dx))]
+            let mut dx = vec![0.0f32; x.len()];
+            msd_tensor::ops::kernels::ew::gelu_bwd(x.data(), grad_out.data(), &mut dx);
+            vec![Some(Tensor::from_vec(x.shape(), dx))]
+        }
+        Op::LinearGelu { pre } => {
+            // Chain rule through the activation first, then reuse the
+            // shared linear adjoint with dpre in place of grad_out.
+            let mut dpre = vec![0.0f32; pre.len()];
+            msd_tensor::ops::kernels::ew::gelu_bwd(pre.data(), grad_out.data(), &mut dpre);
+            let dpre = Tensor::from_vec(pre.shape(), dpre);
+            crate::ops_linalg::linear_backward(node, &dpre, nodes)
+        }
+        Op::LayerNorm { mean, rstd } => {
+            let x = pv(0);
+            let gamma = pv(1);
+            let d = gamma.len();
+            let mut dx = vec![0.0f32; x.len()];
+            let mut dgamma = vec![0.0f32; d];
+            let mut dbeta = vec![0.0f32; d];
+            msd_tensor::ops::kernels::norm::layernorm_bwd(
+                x.data(),
+                d,
+                gamma.data(),
+                mean.data(),
+                rstd.data(),
+                grad_out.data(),
+                &mut dx,
+                &mut dgamma,
+                &mut dbeta,
+            );
+            vec![
+                Some(Tensor::from_vec(x.shape(), dx)),
+                Some(Tensor::from_vec(&[d], dgamma)),
+                Some(Tensor::from_vec(&[d], dbeta)),
+            ]
         }
         Op::Relu => {
             let mask = pv(0).map(|x| if x > 0.0 { 1.0 } else { 0.0 });
@@ -576,6 +666,23 @@ pub(crate) fn backward_op(node: &Node, grad_out: &Tensor, nodes: &[Node]) -> Vec
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn op_registry_names_are_unique_and_consistent() {
+        assert_eq!(Op::Add.name(), "Add");
+        assert_eq!(Op::Scale(2.0).name(), "Scale");
+        assert_eq!(
+            Op::FusedLoss { input_grad: Tensor::zeros(&[1]) }.name(),
+            "FusedLoss"
+        );
+        let mut names: Vec<&str> = ALL_OPS.to_vec();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), ALL_OPS.len(), "duplicate op names in registry");
+        assert!(ALL_OPS.contains(&"Leaf"));
+        assert!(ALL_OPS.contains(&"LinearGelu"));
+        assert!(ALL_OPS.contains(&"LayerNorm"));
+    }
 
     #[test]
     fn leaf_values_round_trip() {

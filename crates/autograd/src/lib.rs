@@ -33,4 +33,4 @@ mod ops_reduce;
 
 pub mod check;
 
-pub use graph::{Gradients, Graph, ParamId, TapeArena, Var};
+pub use graph::{Gradients, Graph, ParamId, TapeArena, Var, ALL_OPS};

@@ -31,6 +31,7 @@
 //! `tests/gradcheck.rs`.
 
 use crate::graph::{Graph, Op, Var};
+use msd_tensor::ops::kernels::{self as k, reduce as kred};
 use msd_tensor::Tensor;
 
 impl Graph {
@@ -48,6 +49,12 @@ impl Graph {
 }
 
 /// Computes the hinge loss and its gradient with respect to `z` in one pass.
+///
+/// The per-row mean, energy `D`, numerators `N_j`, and gradient mean all
+/// run through the spec'd sequential reductions of the kernel layer; rows
+/// are processed in parallel over fixed row blocks with one `f64` loss
+/// partial per block, folded in block order — so loss and gradient are
+/// bit-identical for every SIMD tier and thread count.
 fn acf_hinge_forward_backward(z: &Tensor, alpha: f32) -> (Tensor, Tensor) {
     let nd = z.ndim();
     assert!(nd >= 2, "acf_hinge_loss expects [..., C, L], got {:?}", z.shape());
@@ -57,58 +64,61 @@ fn acf_hinge_forward_backward(z: &Tensor, alpha: f32) -> (Tensor, Tensor) {
     let c = alpha / (l as f32).sqrt();
     let norm = 1.0 / (rows as f32 * (l - 1) as f32);
 
-    let mut total = 0.0f64;
+    let tier = k::tier();
     let mut grad = Tensor::zeros(z.shape());
+    let data = z.data();
 
-    let mut y = vec![0.0f32; l];
-    let mut gy = vec![0.0f32; l];
-    for r in 0..rows {
-        let row = &z.data()[r * l..(r + 1) * l];
-        let mean = row.iter().sum::<f32>() / l as f32;
-        for (yt, &zt) in y.iter_mut().zip(row) {
-            *yt = zt - mean;
-        }
-        let d: f32 = y.iter().map(|v| v * v).sum();
-        if d < 1e-9 {
-            continue;
-        }
-        gy.iter_mut().for_each(|g| *g = 0.0);
-        let inv_d = 1.0 / d;
-        // Accumulated Σ_j w_j · a_j for the −2·a_j·y_s term.
-        let mut wa_sum = 0.0f32;
-        for j in 1..l {
-            let mut n = 0.0f32;
-            for t in j..l {
-                n += y[t] * y[t - j];
+    let partials: Vec<f64> = k::par_rows_map_mut(grad.data_mut(), rows, l, move |_b, r0, chunk| {
+        let mut block_total = 0.0f64;
+        let mut y = vec![0.0f32; l];
+        let mut gy = vec![0.0f32; l];
+        for (i, out) in chunk.chunks_exact_mut(l).enumerate() {
+            let row = &data[(r0 + i) * l..(r0 + i + 1) * l];
+            let mean = kred::sum_seq(tier, row) / l as f32;
+            for (yt, &zt) in y.iter_mut().zip(row) {
+                *yt = zt - mean;
             }
-            let a = n * inv_d;
-            let excess = a.abs() - c;
-            if excess <= 0.0 {
+            let d = kred::dot_seq(tier, &y, &y);
+            if d < 1e-9 {
                 continue;
             }
-            total += excess as f64;
-            let w = a.signum() * norm;
-            wa_sum += w * a;
-            // ∂N_j/∂y_s contributions.
-            let wd = w * inv_d;
-            for s in j..l {
-                gy[s] += wd * y[s - j];
-                gy[s - j] += wd * y[s];
+            gy.iter_mut().for_each(|g| *g = 0.0);
+            let inv_d = 1.0 / d;
+            // Accumulated Σ_j w_j · a_j for the −2·a_j·y_s term.
+            let mut wa_sum = 0.0f32;
+            for j in 1..l {
+                let n = kred::dot_seq(tier, &y[j..], &y[..l - j]);
+                let a = n * inv_d;
+                let excess = a.abs() - c;
+                if excess <= 0.0 {
+                    continue;
+                }
+                block_total += excess as f64;
+                let w = a.signum() * norm;
+                wa_sum += w * a;
+                // ∂N_j/∂y_s contributions (exact per-element scatter).
+                let wd = w * inv_d;
+                for s in j..l {
+                    gy[s] += wd * y[s - j];
+                    gy[s - j] += wd * y[s];
+                }
+            }
+            if wa_sum != 0.0 {
+                let kk = 2.0 * wa_sum * inv_d;
+                for (g, &yv) in gy.iter_mut().zip(&y) {
+                    *g -= kk * yv;
+                }
+            }
+            // Chain through the centring: dz_s = g_s − mean(g).
+            let gmean = kred::sum_seq(tier, &gy) / l as f32;
+            for (o, &g) in out.iter_mut().zip(&gy) {
+                *o = g - gmean;
             }
         }
-        if wa_sum != 0.0 {
-            let k = 2.0 * wa_sum * inv_d;
-            for (g, &yv) in gy.iter_mut().zip(&y) {
-                *g -= k * yv;
-            }
-        }
-        // Chain through the centring: dz_s = g_s − mean(g).
-        let gmean = gy.iter().sum::<f32>() / l as f32;
-        let out = &mut grad.data_mut()[r * l..(r + 1) * l];
-        for (o, &g) in out.iter_mut().zip(&gy) {
-            *o = g - gmean;
-        }
-    }
+        block_total
+    });
+    // Block partials fold in block order — same bits for any thread count.
+    let total: f64 = partials.into_iter().fold(0.0f64, |acc, p| acc + p);
 
     (Tensor::scalar((total * norm as f64) as f32), grad)
 }

@@ -32,6 +32,39 @@ impl Graph {
         })
     }
 
+    /// Fused `gelu(x · W (+ b))` — the hot composition of every MLP block.
+    ///
+    /// One node instead of two: the linear result (pre-activation) is kept
+    /// for the backward pass instead of re-deriving it, and both the
+    /// activation and its adjoint run through the SIMD GELU kernel.
+    /// Numerically identical to `g.gelu(g.linear(x, w, b))`.
+    pub fn linear_gelu(&self, x: Var, weight: Var, bias: Option<Var>) -> Var {
+        let pre = self.with_value(x, |tx| {
+            self.with_value(weight, |tw| match bias {
+                Some(b) => self.with_value(b, |tb| tx.linear(tw, Some(tb))),
+                None => tx.linear(tw, None),
+            })
+        });
+        let mut out = vec![0.0f32; pre.len()];
+        msd_tensor::ops::kernels::ew::gelu(pre.data(), &mut out);
+        let value = Tensor::from_vec(pre.shape(), out);
+        let mut parents = vec![x, weight];
+        if let Some(b) = bias {
+            parents.push(b);
+        }
+        let needs_grad = {
+            let nodes = self.nodes.borrow();
+            parents.iter().any(|p| nodes[p.0 as usize].needs_grad)
+        };
+        self.push(Node {
+            value,
+            op: Op::LinearGelu { pre },
+            parents,
+            needs_grad,
+            param: None,
+        })
+    }
+
     /// Matrix product with the same shape rules as [`Tensor::matmul`]:
     /// either `[..., m, k] · [k, n]` (2-D right-hand side broadcast over
     /// batches) or equal-rank batched `[..., m, k] · [..., k, n]`.

@@ -1,7 +1,12 @@
 //! Neural-network graph ops: activations, stochastic regularisation,
-//! softmax, and fused losses.
+//! normalisation, softmax, and fused losses.
+//!
+//! The fused losses and [`Graph::layer_norm`] route through the kernel
+//! dispatch layer (`msd_tensor::ops::kernels`), computing loss and input
+//! gradient in single fused sweeps.
 
-use crate::graph::{Graph, Op, Var};
+use crate::graph::{Graph, Node, Op, Var};
+use msd_tensor::ops::kernels as k;
 use msd_tensor::rng::Rng;
 use msd_tensor::Tensor;
 
@@ -102,6 +107,57 @@ impl Graph {
         self.push_unary(a, value, Op::MaxPoolLast { argmax })
     }
 
+    /// Fused LayerNorm over the last axis with affine parameters:
+    /// `y = (x - mean) * rstd * gamma + beta`, one tape node instead of the
+    /// ~10 primitive ops of a composed implementation. Forward and backward
+    /// run through the parallel kernels in `msd_tensor::ops::kernels::norm`;
+    /// the per-row statistics are saved for the adjoint.
+    ///
+    /// # Panics
+    /// Panics if `gamma`/`beta` are not 1-D of the last-axis extent.
+    pub fn layer_norm(&self, x: Var, gamma: Var, beta: Var, eps: f32) -> Var {
+        let (value, mean, rstd) = self.with_value(x, |tx| {
+            self.with_value(gamma, |tg| {
+                self.with_value(beta, |tb| {
+                    let d = *tx.shape().last().expect("layer_norm on scalar");
+                    assert_eq!(tg.shape(), &[d], "layer_norm gamma shape");
+                    assert_eq!(tb.shape(), &[d], "layer_norm beta shape");
+                    let rows = tx.len() / d;
+                    let mut out = vec![0.0f32; tx.len()];
+                    let mut mean = vec![0.0f32; rows];
+                    let mut rstd = vec![0.0f32; rows];
+                    k::norm::layernorm_fwd(
+                        tx.data(),
+                        d,
+                        tg.data(),
+                        tb.data(),
+                        eps,
+                        &mut out,
+                        &mut mean,
+                        &mut rstd,
+                    );
+                    (
+                        Tensor::from_vec(tx.shape(), out),
+                        Tensor::from_vec(&[rows], mean),
+                        Tensor::from_vec(&[rows], rstd),
+                    )
+                })
+            })
+        });
+        let parents = vec![x, gamma, beta];
+        let needs_grad = {
+            let nodes = self.nodes.borrow();
+            parents.iter().any(|p| nodes[p.0 as usize].needs_grad)
+        };
+        self.push(Node {
+            value,
+            op: Op::LayerNorm { mean, rstd },
+            parents,
+            needs_grad,
+            param: None,
+        })
+    }
+
     /// Numerically-stable softmax over the last axis.
     pub fn softmax_last(&self, a: Var) -> Var {
         let value = self.with_value(a, softmax_last_tensor);
@@ -139,14 +195,16 @@ impl Graph {
     }
 
     /// Mean-squared-error against a constant target, fused into one node:
-    /// `mean((a - target)^2)`.
+    /// `mean((a - target)^2)`. Loss (sum of squared errors) and input
+    /// gradient each run as one fused kernel sweep.
     pub fn mse_loss(&self, a: Var, target: &Tensor) -> Var {
         let (loss, grad) = self.with_value(a, |t| {
             assert_eq!(t.shape(), target.shape(), "mse_loss shape mismatch");
             let n = t.len() as f32;
-            let diff = t.sub(target);
-            let loss = diff.sq_norm() / n;
-            (Tensor::scalar(loss), diff.scale(2.0 / n))
+            let loss = k::reduce::sse(t.data(), target.data()) / n;
+            let mut gd = vec![0.0f32; t.len()];
+            k::ew::scaled_diff(t.data(), target.data(), 2.0 / n, &mut gd);
+            (Tensor::scalar(loss), Tensor::from_vec(t.shape(), gd))
         });
         self.push_unary(a, loss, Op::FusedLoss { input_grad: grad })
     }
@@ -157,55 +215,40 @@ impl Graph {
         let (loss, grad) = self.with_value(a, |t| {
             assert_eq!(t.shape(), target.shape(), "mae_loss shape mismatch");
             let n = t.len() as f32;
-            let diff = t.sub(target);
-            let loss = diff.abs().sum_all() / n;
-            let grad = diff.map(|d| {
-                if d > 0.0 {
-                    1.0 / n
-                } else if d < 0.0 {
-                    -1.0 / n
-                } else {
-                    0.0
-                }
-            });
-            (Tensor::scalar(loss), grad)
+            let loss = k::reduce::sad(t.data(), target.data()) / n;
+            let mut gd = vec![0.0f32; t.len()];
+            k::ew::sign_scaled(t.data(), target.data(), 1.0 / n, &mut gd);
+            (Tensor::scalar(loss), Tensor::from_vec(t.shape(), gd))
         });
         self.push_unary(a, loss, Op::FusedLoss { input_grad: grad })
     }
 
     /// Masked MSE: `sum(mask * (a - target)^2) / max(sum(mask), 1)`. Used by
     /// the imputation task, where the loss is computed on masked positions
-    /// only.
+    /// only. The masked sum of squares and the mask count come from ONE
+    /// fused sweep over the inputs ([`k::reduce::masked_sse`]).
     pub fn masked_mse_loss(&self, a: Var, target: &Tensor, mask: &Tensor) -> Var {
         let (loss, grad) = self.with_value(a, |t| {
             assert_eq!(t.shape(), target.shape(), "masked_mse shape mismatch");
             assert_eq!(t.shape(), mask.shape(), "masked_mse mask shape mismatch");
-            let denom = mask.sum_all().max(1.0);
-            let diff = t.sub(target).mul(mask);
-            let loss = diff.mul(&t.sub(target)).sum_all() / denom;
-            (Tensor::scalar(loss), diff.scale(2.0 / denom))
+            let (sse, count) = k::reduce::masked_sse(t.data(), target.data(), mask.data());
+            let denom = count.max(1.0);
+            let loss = sse / denom;
+            let mut gd = vec![0.0f32; t.len()];
+            k::ew::masked_scaled_diff(t.data(), target.data(), mask.data(), 2.0 / denom, &mut gd);
+            (Tensor::scalar(loss), Tensor::from_vec(t.shape(), gd))
         });
         self.push_unary(a, loss, Op::FusedLoss { input_grad: grad })
     }
 }
 
-/// Stable softmax over the last axis of a plain tensor.
+/// Stable softmax over the last axis of a plain tensor, via the row
+/// softmax kernel.
 pub(crate) fn softmax_last_tensor(t: &Tensor) -> Tensor {
     let last = *t.shape().last().expect("softmax on scalar");
-    let mut out = t.clone();
-    for row in out.data_mut().chunks_exact_mut(last) {
-        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        let mut sum = 0.0f32;
-        for v in row.iter_mut() {
-            *v = (*v - max).exp();
-            sum += *v;
-        }
-        let inv = 1.0 / sum;
-        for v in row.iter_mut() {
-            *v *= inv;
-        }
-    }
-    out
+    let mut out = vec![0.0f32; t.len()];
+    k::norm::softmax_rows(t.data(), last, &mut out);
+    Tensor::from_vec(t.shape(), out)
 }
 
 #[cfg(test)]

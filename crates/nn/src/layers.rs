@@ -90,6 +90,15 @@ impl Linear {
         let b = self.b.map(|id| ctx.p(id));
         ctx.g.linear(x, w, b)
     }
+
+    /// Applies the layer followed by GELU as one fused tape node
+    /// (`Graph::linear_gelu`) — numerically identical to
+    /// `gelu(forward(x))` but with one kernel pass per direction.
+    pub fn forward_gelu(&self, ctx: &Ctx, x: Var) -> Var {
+        let w = ctx.p(self.w);
+        let b = self.b.map(|id| ctx.p(id));
+        ctx.g.linear_gelu(x, w, b)
+    }
 }
 
 /// The paper's MLP block (Fig. 3a): `x + DropPath(FC(GELU(FC(x))))`.
@@ -128,8 +137,7 @@ impl MlpBlock {
 
     /// Applies the block to `x` of shape `[..., dim]`.
     pub fn forward(&self, ctx: &Ctx, x: Var) -> Var {
-        let h = self.fc1.forward(ctx, x);
-        let h = ctx.g.gelu(h);
+        let h = self.fc1.forward_gelu(ctx, x);
         let h = self.fc2.forward(ctx, h);
         let h = ctx.drop_path(h, self.drop_path);
         ctx.g.add(x, h)
@@ -157,20 +165,14 @@ impl LayerNorm {
         }
     }
 
-    /// Applies layer norm to `x` of shape `[..., dim]`.
+    /// Applies layer norm to `x` of shape `[..., dim]` as one fused tape
+    /// node (`Graph::layer_norm`): the SIMD normalization kernel computes
+    /// mean and rstd per row and the backward uses the stored statistics
+    /// instead of rebuilding the nine-node primitive chain.
     pub fn forward(&self, ctx: &Ctx, x: Var) -> Var {
         let g = ctx.g;
-        let nd = g.shape_of(x).len();
         debug_assert_eq!(*g.shape_of(x).last().unwrap(), self.dim, "LayerNorm dim");
-        let mu = g.mean_axis(x, nd - 1);
-        let mu_b = g.broadcast_last(mu, self.dim);
-        let centered = g.sub(x, mu_b);
-        let var = g.mean_axis(g.square(centered), nd - 1);
-        let std = g.sqrt(g.add_scalar(var, self.eps));
-        let std_b = g.broadcast_last(std, self.dim);
-        let normed = g.div(centered, std_b);
-        let scaled = g.mul_bcast_last(normed, ctx.p(self.gamma));
-        g.add_bcast_last(scaled, ctx.p(self.beta))
+        g.layer_norm(x, ctx.p(self.gamma), ctx.p(self.beta), self.eps)
     }
 }
 

@@ -1,52 +1,87 @@
 //! Elementwise arithmetic and activation functions.
+//!
+//! The hot methods route through the multi-threaded kernel layer in
+//! [`crate::ops::kernels::ew`]; results are bit-identical to the plain
+//! per-element loops for every thread count (see the kernel module docs).
 
+use crate::ops::kernels::ew;
 use crate::Tensor;
 
 impl Tensor {
+    fn binary_kernel(&self, other: &Tensor, op: ew::Bin) -> Tensor {
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "zip shape mismatch: {:?} vs {:?}",
+            self.shape(),
+            other.shape()
+        );
+        let mut out = vec![0.0f32; self.len()];
+        ew::binary(op, self.data(), other.data(), &mut out);
+        Tensor::from_vec(self.shape(), out)
+    }
+
+    fn assert_same_shape(&self, other: &Tensor) {
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "zip_mut shape mismatch: {:?} vs {:?}",
+            self.shape(),
+            other.shape()
+        );
+    }
+
     /// Elementwise sum. Shapes must match exactly.
     pub fn add(&self, other: &Tensor) -> Tensor {
-        self.zip(other, |a, b| a + b)
+        self.binary_kernel(other, ew::Bin::Add)
     }
 
     /// Elementwise difference (`self - other`). Shapes must match exactly.
     pub fn sub(&self, other: &Tensor) -> Tensor {
-        self.zip(other, |a, b| a - b)
+        self.binary_kernel(other, ew::Bin::Sub)
     }
 
     /// Elementwise product (Hadamard). Shapes must match exactly.
     pub fn mul(&self, other: &Tensor) -> Tensor {
-        self.zip(other, |a, b| a * b)
+        self.binary_kernel(other, ew::Bin::Mul)
     }
 
     /// Elementwise quotient. Shapes must match exactly.
     pub fn div(&self, other: &Tensor) -> Tensor {
-        self.zip(other, |a, b| a / b)
+        self.binary_kernel(other, ew::Bin::Div)
     }
 
     /// In-place `self += other`.
     pub fn add_assign(&mut self, other: &Tensor) {
-        self.zip_mut(other, |a, b| *a += b);
+        self.assert_same_shape(other);
+        ew::add_assign(self.data_mut(), other.data());
     }
 
     /// In-place `self -= other`.
     pub fn sub_assign(&mut self, other: &Tensor) {
-        self.zip_mut(other, |a, b| *a -= b);
+        self.assert_same_shape(other);
+        ew::sub_assign(self.data_mut(), other.data());
     }
 
     /// In-place `self += scale * other` (the axpy kernel that dominates
     /// gradient accumulation and optimiser updates).
     pub fn axpy(&mut self, scale: f32, other: &Tensor) {
-        self.zip_mut(other, |a, b| *a += scale * b);
+        self.assert_same_shape(other);
+        ew::axpy(scale, other.data(), self.data_mut());
     }
 
     /// Multiplies every element by `s`.
     pub fn scale(&self, s: f32) -> Tensor {
-        self.map(|x| x * s)
+        let mut out = vec![0.0f32; self.len()];
+        ew::scale(self.data(), s, &mut out);
+        Tensor::from_vec(self.shape(), out)
     }
 
     /// Adds `s` to every element.
     pub fn add_scalar(&self, s: f32) -> Tensor {
-        self.map(|x| x + s)
+        let mut out = vec![0.0f32; self.len()];
+        ew::add_scalar(self.data(), s, &mut out);
+        Tensor::from_vec(self.shape(), out)
     }
 
     /// Elementwise negation.
@@ -56,7 +91,9 @@ impl Tensor {
 
     /// Elementwise square.
     pub fn square(&self) -> Tensor {
-        self.map(|x| x * x)
+        let mut out = vec![0.0f32; self.len()];
+        ew::square(self.data(), &mut out);
+        Tensor::from_vec(self.shape(), out)
     }
 
     /// Elementwise square root.
@@ -76,15 +113,22 @@ impl Tensor {
 
     /// Rectified linear unit: `max(x, 0)`.
     pub fn relu(&self) -> Tensor {
-        self.map(|x| x.max(0.0))
+        let mut out = vec![0.0f32; self.len()];
+        ew::relu(self.data(), &mut out);
+        Tensor::from_vec(self.shape(), out)
     }
 
     /// Gaussian Error Linear Unit, tanh approximation — the nonlinearity of
     /// the paper's MLP block (Fig. 3a).
     ///
     /// `gelu(x) = 0.5 x (1 + tanh(sqrt(2/pi)(x + 0.044715 x^3)))`
+    ///
+    /// Dispatches to the SIMD kernel, which is bit-identical to
+    /// [`gelu_scalar`] per element on every tier.
     pub fn gelu(&self) -> Tensor {
-        self.map(gelu_scalar)
+        let mut out = vec![0.0f32; self.len()];
+        ew::gelu(self.data(), &mut out);
+        Tensor::from_vec(self.shape(), out)
     }
 
     /// Elementwise hyperbolic tangent.
@@ -100,12 +144,7 @@ impl Tensor {
         let last = *self.shape().last().expect("add_bias on scalar");
         assert_eq!(bias.shape(), &[last], "bias shape mismatch");
         let mut out = self.clone();
-        let b = bias.data();
-        for chunk in out.data_mut().chunks_exact_mut(last) {
-            for (o, &bv) in chunk.iter_mut().zip(b) {
-                *o += bv;
-            }
-        }
+        ew::add_bias(out.data_mut(), bias.data());
         out
     }
 }

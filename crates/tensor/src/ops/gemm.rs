@@ -170,6 +170,10 @@ pub(crate) fn sgemm_strided_with_threads(
     let c_ptr = SendPtr(c.as_mut_ptr());
     let a_ptr = SendPtr(packed_a_all.as_mut_ptr());
     let packed_b = &*packed_b;
+    // Resolve the ISA tier once per product, not per microkernel call: the
+    // dispatcher re-reads `MSD_KERNEL_FORCE` on every resolution, which is
+    // far too expensive for the inner loop.
+    let isa = isa_level();
     pool::parallel_tiles(n_tiles, threads, move |tile| {
         let c_ptr = &c_ptr;
         let a_ptr = &a_ptr;
@@ -213,7 +217,7 @@ pub(crate) fn sgemm_strided_with_threads(
                     unsafe {
                         let c_block = c_ptr.0.add(i * n + j);
                         if mr == MR && nr == NR {
-                            microkernel(kc, a_panel, b_panel, c_block, n, first_slab);
+                            microkernel(isa, kc, a_panel, b_panel, c_block, n, first_slab);
                         } else {
                             // Ragged edge: run the kernel on a local NR-wide
                             // buffer, then copy the valid region back.
@@ -225,7 +229,7 @@ pub(crate) fn sgemm_strided_with_threads(
                                     }
                                 }
                             }
-                            microkernel(kc, a_panel, b_panel, buf.as_mut_ptr(), NR, first_slab);
+                            microkernel(isa, kc, a_panel, b_panel, buf.as_mut_ptr(), NR, first_slab);
                             for ii in 0..mr {
                                 for jj in 0..nr {
                                     *c_block.add(ii * n + jj) = buf[ii * NR + jj];
@@ -306,41 +310,48 @@ impl std::ops::DerefMut for ScratchGuard {
 /// `a` must hold `kc·MR` packed values, `b` `kc·NR`; `c` must be writable at
 /// rows `0..MR` with stride `ldc` and `NR` columns each.
 #[inline]
-unsafe fn microkernel(kc: usize, a: &[f32], b: &[f32], c: *mut f32, ldc: usize, init: bool) {
+unsafe fn microkernel(
+    isa: IsaLevel,
+    kc: usize,
+    a: &[f32],
+    b: &[f32],
+    c: *mut f32,
+    ldc: usize,
+    init: bool,
+) {
     #[cfg(target_arch = "x86_64")]
     {
-        match isa_level() {
+        match isa {
             IsaLevel::Avx512 => return microkernel_avx512(kc, a, b, c, ldc, init),
             IsaLevel::Fma => return microkernel_fma(kc, a, b, c, ldc, init),
             IsaLevel::Baseline => {}
         }
     }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = isa;
     microkernel_scalar(kc, a, b, c, ldc, init);
 }
 
-#[cfg(target_arch = "x86_64")]
 #[derive(Clone, Copy)]
 enum IsaLevel {
+    #[cfg_attr(not(target_arch = "x86_64"), allow(dead_code))]
     Avx512,
+    #[cfg_attr(not(target_arch = "x86_64"), allow(dead_code))]
     Fma,
     Baseline,
 }
 
-#[cfg(target_arch = "x86_64")]
+/// Resolves the gemm ISA tier through the shared kernel dispatcher so
+/// `MSD_KERNEL_FORCE` governs gemm exactly like every other kernel. All
+/// gemm tiers are bit-identical by design (the scalar path uses
+/// correctly-rounded `f32::mul_add` to mirror the FMA units), so forcing
+/// the tier only changes speed, never bits.
 fn isa_level() -> IsaLevel {
-    use std::sync::OnceLock;
-    static LEVEL: OnceLock<IsaLevel> = OnceLock::new();
-    *LEVEL.get_or_init(|| {
-        if std::arch::is_x86_feature_detected!("avx512f") {
-            IsaLevel::Avx512
-        } else if std::arch::is_x86_feature_detected!("avx2")
-            && std::arch::is_x86_feature_detected!("fma")
-        {
-            IsaLevel::Fma
-        } else {
-            IsaLevel::Baseline
-        }
-    })
+    match crate::ops::kernels::tier() {
+        crate::ops::kernels::Tier::Avx512 => IsaLevel::Avx512,
+        crate::ops::kernels::Tier::Fma => IsaLevel::Fma,
+        crate::ops::kernels::Tier::Scalar => IsaLevel::Baseline,
+    }
 }
 
 /// Portable microkernel: a `[MR][NR]` accumulator grid accumulated with

@@ -1,0 +1,307 @@
+//! Kernel dispatch layer: SIMD-tiered, thread-parallel elementwise,
+//! reduction, and normalisation kernels.
+//!
+//! # Dispatch
+//!
+//! Every kernel picks one of three implementation tiers at runtime —
+//! AVX-512, AVX2 (the FMA tier), or portable scalar — via [`tier`]. The
+//! detected ISA is probed once per process; the `MSD_KERNEL_FORCE`
+//! environment variable (`scalar`, `fma`/`avx2`, `avx512`, `auto`) is read
+//! on every dispatch so tests can flip tiers at runtime, exactly like
+//! `MSD_NUM_THREADS` re-reads the worker count. Forcing a tier above what
+//! the machine supports clamps to the detected level.
+//!
+//! # Determinism contract
+//!
+//! Results are **bit-identical for every tier and every thread count**:
+//!
+//! * elementwise kernels are pure per-element functions whose SIMD bodies
+//!   replicate the scalar operation sequence exactly (plain mul/add, no
+//!   FMA contraction, branch-free clamps via compare+blend that preserve
+//!   NaN/±inf propagation);
+//! * reductions follow a *fixed accumulation-order specification*: the
+//!   input is cut into [`RED_BLOCK`]-sized blocks (boundaries depend only
+//!   on the length), each block accumulates into [`LANES`] interleaved
+//!   lanes (lane `i` takes elements `i`, `i + LANES`, …), lanes fold in a
+//!   fixed pairwise tree (16 → 8 → 4 → 2 → 1), and block partials fold
+//!   sequentially in block order. Every tier implements this one spec —
+//!   AVX-512 with one 16-lane register, AVX2 with two 8-lane registers,
+//!   scalar with a 16-element array — so the bits cannot differ;
+//! * thread partitioning assigns whole fixed blocks to workers through
+//!   [`crate::pool::parallel_tiles`]; threads change *who* computes a
+//!   block, never *how*, and partials always fold in block order.
+//!
+//! One deliberate carve-out: **NaN payload/sign is unspecified**. When
+//! both operands of an addition are NaN, IEEE 754 lets the implementation
+//! return either payload; x86 `addss`/`addps` return the first operand's,
+//! and LLVM freely commutes `fadd`, so two correct compilations of the
+//! same accumulation order can surface different NaN bits. Whether a
+//! result *is* NaN is fully deterministic — only which of several input
+//! NaN payloads survives is not. All non-NaN results, including ±inf and
+//! signed zeros, are covered by the bit-identity guarantee.
+//!
+//! The naive reference implementations of the same specification live in
+//! [`oracle`] and stay compiled into every build: the differential test
+//! suite (`tests/kernels_differential.rs`) sweeps random shapes and
+//! NaN/±inf inputs comparing each dispatched kernel bit-for-bit against
+//! its oracle (NaNs canonicalised before comparing, per the carve-out
+//! above), across tiers and `MSD_NUM_THREADS` settings.
+
+use std::sync::OnceLock;
+
+pub mod ew;
+pub mod norm;
+pub mod oracle;
+pub mod reduce;
+mod simd;
+
+/// Number of virtual accumulator lanes in the reduction specification.
+/// Chosen to match one AVX-512 register (and two AVX2 registers) so every
+/// tier can implement the spec at full width.
+pub const LANES: usize = 16;
+
+/// Elements per reduction block. Block boundaries depend only on the input
+/// length — never on the thread count — so partial folds are deterministic.
+/// A multiple of [`LANES`]; sized so one block's working set stays L1-hot.
+pub const RED_BLOCK: usize = 4096;
+
+/// Elements per elementwise parallel block.
+pub(crate) const EW_BLOCK: usize = 1 << 14;
+
+/// Minimum problem size (elements) before a kernel engages the thread pool;
+/// below this, spawn cost exceeds the work.
+pub(crate) const PAR_MIN: usize = 1 << 15;
+
+/// The SIMD implementation tier a kernel dispatches to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Tier {
+    /// Portable scalar loops — also the shape of the test oracles.
+    Scalar,
+    /// AVX2 + FMA x86-64 tier (FMA is required by the gemm microkernel;
+    /// pointwise kernels use plain mul/add to stay bit-identical with the
+    /// scalar tier).
+    Fma,
+    /// AVX-512F x86-64 tier.
+    Avx512,
+}
+
+impl Tier {
+    /// Human-readable tier name (for bench reports and diagnostics).
+    pub fn name(self) -> &'static str {
+        match self {
+            Tier::Scalar => "scalar",
+            Tier::Fma => "fma",
+            Tier::Avx512 => "avx512",
+        }
+    }
+}
+
+/// The highest tier the running CPU supports (probed once per process).
+pub fn detected_tier() -> Tier {
+    static DETECTED: OnceLock<Tier> = OnceLock::new();
+    *DETECTED.get_or_init(|| {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx512f") {
+                return Tier::Avx512;
+            }
+            if std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma")
+            {
+                return Tier::Fma;
+            }
+        }
+        Tier::Scalar
+    })
+}
+
+/// The tier kernels dispatch to right now: the detected tier, clamped by
+/// the `MSD_KERNEL_FORCE` environment variable if set.
+///
+/// Recognised values: `scalar`, `fma` (alias `avx2`), `avx512`, `auto`
+/// (same as unset). Unknown values fall back to `auto`. The variable is
+/// re-read on every call so tests and benches can flip the tier at
+/// runtime; a forced tier above the machine's capability clamps down to
+/// [`detected_tier`].
+pub fn tier() -> Tier {
+    let detected = detected_tier();
+    match std::env::var("MSD_KERNEL_FORCE") {
+        Ok(v) => match v.trim().to_ascii_lowercase().as_str() {
+            "scalar" => Tier::Scalar,
+            "fma" | "avx2" => detected.min(Tier::Fma),
+            "avx512" => detected.min(Tier::Avx512),
+            _ => detected,
+        },
+        Err(_) => detected,
+    }
+}
+
+/// A raw pointer that may cross the scoped-thread boundary. Every user
+/// guarantees that concurrent tiles touch disjoint index ranges.
+pub(crate) struct SendPtr<T>(pub(crate) *mut T);
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+/// Runs `work(start, chunk)` over fixed `block`-sized chunks of `out`,
+/// in parallel when `len >= PAR_MIN`. Chunk boundaries depend only on the
+/// output length, and each chunk is written by exactly one worker.
+pub(crate) fn par_chunks_mut(
+    out: &mut [f32],
+    block: usize,
+    work: impl Fn(usize, &mut [f32]) + Sync,
+) {
+    let len = out.len();
+    if len == 0 {
+        return;
+    }
+    let n_blocks = len.div_ceil(block);
+    let threads = if len >= PAR_MIN {
+        crate::pool::num_threads()
+    } else {
+        1
+    };
+    if threads <= 1 || n_blocks <= 1 {
+        for b in 0..n_blocks {
+            let start = b * block;
+            let end = (start + block).min(len);
+            // Re-borrowing per block keeps the sequential path free of
+            // unsafe; per-element kernels are insensitive to the split.
+            work(start, &mut out[start..end]);
+        }
+        return;
+    }
+    let ptr = SendPtr(out.as_mut_ptr());
+    crate::pool::parallel_tiles(n_blocks, threads, move |b| {
+        let ptr = &ptr;
+        let start = b * block;
+        let end = (start + block).min(len);
+        // SAFETY: blocks are disjoint ranges of `out`, one tile each.
+        let chunk = unsafe { std::slice::from_raw_parts_mut(ptr.0.add(start), end - start) };
+        work(start, chunk);
+    });
+}
+
+/// The fixed row-block decomposition for a `rows × row_len` problem:
+/// returns `(rows_per_block, n_blocks)`. Depends only on the shape, so
+/// per-block partial results always fold in the same order regardless of
+/// the thread count.
+pub fn row_blocks(rows: usize, row_len: usize) -> (usize, usize) {
+    if rows == 0 {
+        return (1, 0);
+    }
+    // Aim for blocks of ~EW_BLOCK elements, at least one row.
+    let rows_per_block = (EW_BLOCK / row_len.max(1)).clamp(1, rows);
+    (rows_per_block, rows.div_ceil(rows_per_block))
+}
+
+/// Runs `row_work(block, first_row, row_count)` over the fixed row-block
+/// decomposition of [`row_blocks`], in parallel when the problem is large
+/// enough.
+pub fn par_rows(rows: usize, row_len: usize, row_work: impl Fn(usize, usize, usize) + Sync) {
+    let (rows_per_block, n_blocks) = row_blocks(rows, row_len);
+    if n_blocks == 0 {
+        return;
+    }
+    let threads = if rows * row_len >= PAR_MIN {
+        crate::pool::num_threads()
+    } else {
+        1
+    };
+    crate::pool::parallel_tiles(n_blocks, threads.min(n_blocks), move |b| {
+        let r0 = b * rows_per_block;
+        let n = rows_per_block.min(rows - r0);
+        row_work(b, r0, n);
+    });
+}
+
+/// Like [`par_rows`], but hands each block its disjoint `&mut` window of
+/// `out` (which must hold exactly `rows * row_len` elements).
+///
+/// # Panics
+/// Panics if `out.len() != rows * row_len`.
+pub fn par_rows_mut(
+    out: &mut [f32],
+    rows: usize,
+    row_len: usize,
+    row_work: impl Fn(usize, usize, &mut [f32]) + Sync,
+) {
+    assert_eq!(out.len(), rows * row_len, "par_rows_mut length mismatch");
+    let ptr = SendPtr(out.as_mut_ptr());
+    par_rows(rows, row_len, move |b, r0, n| {
+        let ptr = &ptr;
+        // SAFETY: row blocks are disjoint ranges of `out`, one tile each.
+        let chunk =
+            unsafe { std::slice::from_raw_parts_mut(ptr.0.add(r0 * row_len), n * row_len) };
+        row_work(b, r0, chunk);
+    });
+}
+
+/// Like [`par_rows_mut`], but additionally collects one partial result per
+/// block, returned **in block order** so callers can fold partials
+/// deterministically (the fused ACF loss folds per-row-block `f64` loss
+/// terms this way; LayerNorm backward folds per-block `dγ`/`dβ` buffers).
+///
+/// # Panics
+/// Panics if `out.len() != rows * row_len`.
+pub fn par_rows_map_mut<P: Send + Default>(
+    out: &mut [f32],
+    rows: usize,
+    row_len: usize,
+    row_work: impl Fn(usize, usize, &mut [f32]) -> P + Sync,
+) -> Vec<P> {
+    assert_eq!(out.len(), rows * row_len, "par_rows_map_mut length mismatch");
+    let (_, n_blocks) = row_blocks(rows, row_len);
+    let mut partials: Vec<P> = std::iter::repeat_with(P::default).take(n_blocks).collect();
+    let out_ptr = SendPtr(out.as_mut_ptr());
+    let part_ptr = SendPtr(partials.as_mut_ptr());
+    par_rows(rows, row_len, move |b, r0, n| {
+        let (out_ptr, part_ptr) = (&out_ptr, &part_ptr);
+        // SAFETY: row blocks are disjoint ranges of `out`, and each tile
+        // writes exactly one distinct partial slot.
+        let chunk =
+            unsafe { std::slice::from_raw_parts_mut(out_ptr.0.add(r0 * row_len), n * row_len) };
+        let p = row_work(b, r0, chunk);
+        unsafe { *part_ptr.0.add(b) = p };
+    });
+    partials
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tier_force_is_clamped_and_lenient() {
+        // Can't mutate the process env safely in parallel tests, but the
+        // ordering invariants are static.
+        assert!(Tier::Scalar < Tier::Fma);
+        assert!(Tier::Fma < Tier::Avx512);
+        assert!(tier() <= detected_tier());
+        assert_eq!(Tier::Avx512.name(), "avx512");
+    }
+
+    #[test]
+    fn par_chunks_cover_everything_once() {
+        let mut out = vec![0.0f32; 10_007];
+        par_chunks_mut(&mut out, 256, |start, chunk| {
+            for (i, v) in chunk.iter_mut().enumerate() {
+                *v += (start + i) as f32;
+            }
+        });
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, i as f32);
+        }
+    }
+
+    #[test]
+    fn par_rows_cover_all_rows() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let hits: Vec<AtomicU32> = (0..37).map(|_| AtomicU32::new(0)).collect();
+        par_rows(37, 8, |_b, r0, n| {
+            for h in &hits[r0..r0 + n] {
+                h.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+}

@@ -157,12 +157,7 @@ impl Tensor {
         );
         if let Some(b) = bias {
             assert_eq!(b.shape(), &[out_dim], "linear bias shape");
-            let bd = b.data();
-            for chunk in out.chunks_exact_mut(out_dim) {
-                for (o, &bv) in chunk.iter_mut().zip(bd) {
-                    *o += bv;
-                }
-            }
+            crate::ops::kernels::ew::add_bias(&mut out, b.data());
         }
         let mut shape = self.shape().to_vec();
         *shape.last_mut().unwrap() = out_dim;

@@ -6,6 +6,7 @@
 
 mod elementwise;
 pub mod gemm;
+pub mod kernels;
 mod layout;
 mod matmul;
 mod reduce;

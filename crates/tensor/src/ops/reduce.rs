@@ -1,11 +1,16 @@
 //! Reductions: sums, means, extrema, and statistics along axes.
+//!
+//! Whole-tensor reductions route through [`crate::ops::kernels::reduce`],
+//! which fixes a single blocked accumulation order so results are
+//! bit-identical for every SIMD tier and thread count.
 
+use crate::ops::kernels::{self, reduce as kred};
 use crate::Tensor;
 
 impl Tensor {
-    /// Sum of all elements.
+    /// Sum of all elements (spec'd blocked reduction; see the kernel docs).
     pub fn sum_all(&self) -> f32 {
-        self.data().iter().sum()
+        kred::sum(self.data())
     }
 
     /// Mean of all elements (0 for an empty tensor).
@@ -17,14 +22,14 @@ impl Tensor {
         }
     }
 
-    /// Maximum element. `-inf` for an empty tensor.
+    /// Maximum element, ignoring NaN. `-inf` for an empty tensor.
     pub fn max_all(&self) -> f32 {
-        self.data().iter().copied().fold(f32::NEG_INFINITY, f32::max)
+        kred::maxv(self.data())
     }
 
-    /// Minimum element. `+inf` for an empty tensor.
+    /// Minimum element, ignoring NaN. `+inf` for an empty tensor.
     pub fn min_all(&self) -> f32 {
-        self.data().iter().copied().fold(f32::INFINITY, f32::min)
+        kred::minv(self.data())
     }
 
     /// Sums along `axis`, removing it from the shape.
@@ -37,12 +42,30 @@ impl Tensor {
         let mut out_shape = shape.to_vec();
         out_shape.remove(axis);
         let mut out = vec![0.0f32; outer * inner];
-        for o in 0..outer {
-            for a in 0..ext {
-                let base = (o * ext + a) * inner;
-                let dst = &mut out[o * inner..(o + 1) * inner];
-                for (d, &s) in dst.iter_mut().zip(&self.data()[base..base + inner]) {
-                    *d += s;
+        if inner == 1 {
+            // Last-axis reduction: one spec'd sequential sum per row,
+            // parallel over fixed row blocks (who computes a row never
+            // changes what it computes).
+            let t = kernels::tier();
+            let data = self.data();
+            let out_ptr = kernels::SendPtr(out.as_mut_ptr());
+            kernels::par_rows(outer, ext, move |_b, r0, n| {
+                let out_ptr = &out_ptr;
+                for r in r0..r0 + n {
+                    // SAFETY: each row index is written by exactly one block.
+                    unsafe {
+                        *out_ptr.0.add(r) = kred::sum_seq(t, &data[r * ext..(r + 1) * ext]);
+                    }
+                }
+            });
+        } else {
+            for o in 0..outer {
+                for a in 0..ext {
+                    let base = (o * ext + a) * inner;
+                    let dst = &mut out[o * inner..(o + 1) * inner];
+                    for (d, &s) in dst.iter_mut().zip(&self.data()[base..base + inner]) {
+                        *d += s;
+                    }
                 }
             }
         }
@@ -79,12 +102,12 @@ impl Tensor {
     /// Population variance of all elements.
     pub fn var_all(&self) -> f32 {
         let mean = self.mean_all();
-        self.data().iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / self.len().max(1) as f32
+        kred::centered_sumsq(self.data(), mean) / self.len().max(1) as f32
     }
 
     /// Squared L2 norm of all elements.
     pub fn sq_norm(&self) -> f32 {
-        self.data().iter().map(|&x| x * x).sum()
+        kred::sumsq(self.data())
     }
 }
 
