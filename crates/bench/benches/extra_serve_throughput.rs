@@ -84,6 +84,7 @@ fn main() {
                 requests,
                 rate_rps: 0.0,
                 seed: 29,
+                ..LoadSpec::default()
             },
         );
         let stats = server.shutdown();
@@ -112,6 +113,9 @@ fn main() {
             p95_us: stats.p95_us,
             p99_us: stats.p99_us,
             rejected: stats.rejected,
+            skew_mean_us: outcome.skew_mean_us,
+            skew_max_us: outcome.skew_max_us,
+            reanchors: outcome.reanchors,
         };
         writeln!(out, "{}", report.to_json()).expect("append BENCH_serve.json row");
         println!(

@@ -1,0 +1,480 @@
+//! A hand-rolled HTTP/1.1 subset over blocking `std::net` sockets.
+//!
+//! Exactly the slice of the protocol the gateway needs, and nothing more:
+//! `GET`/`POST`, `Content-Length` bodies (no chunked encoding, no trailers,
+//! no 100-continue), keep-alive connections, and byte-exact bodies. The
+//! grammar is documented in DESIGN.md §12; anything outside it is rejected
+//! with `InvalidData` so the caller can answer `400` and close.
+//!
+//! Reads poll with a short socket timeout so a blocked connection notices a
+//! gateway shutdown instead of pinning its thread forever.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Largest accepted request head (request line + headers), bytes.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Most headers accepted per request.
+pub const MAX_HEADERS: usize = 64;
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Method token, uppercase (`GET`, `POST`).
+    pub method: String,
+    /// Request target as sent (no query parsing; the gateway routes on the
+    /// whole path).
+    pub path: String,
+    /// Header name/value pairs; names lowercased at parse time.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of `name` (give it lowercased), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to keep the connection open (HTTP/1.1
+    /// default unless `Connection: close`).
+    pub fn keep_alive(&self) -> bool {
+        !matches!(self.header("connection"), Some(v) if v.eq_ignore_ascii_case("close"))
+    }
+}
+
+fn invalid(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Pulls more bytes from `stream` into `carry`, polling through read
+/// timeouts until data arrives, EOF, or `stop` is raised. Returns the bytes
+/// read (0 = EOF).
+fn fill(stream: &mut TcpStream, carry: &mut Vec<u8>, stop: &AtomicBool) -> io::Result<usize> {
+    let mut tmp = [0u8; 4096];
+    loop {
+        match stream.read(&mut tmp) {
+            Ok(n) => {
+                carry.extend_from_slice(&tmp[..n]);
+                return Ok(n);
+            }
+            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
+                if stop.load(Ordering::Relaxed) {
+                    return Err(io::Error::other("gateway shutting down"));
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n").map(|i| i + 4)
+}
+
+/// Reads one request from `stream`, carrying unconsumed bytes between calls
+/// in `carry` (pipelined or keep-alive traffic parks there).
+///
+/// Returns `Ok(None)` on a clean EOF between requests (the peer hung up),
+/// `InvalidData` on anything outside the accepted grammar, and
+/// `UnexpectedEof` on a connection torn mid-request.
+pub fn read_request(
+    stream: &mut TcpStream,
+    carry: &mut Vec<u8>,
+    max_body: usize,
+    stop: &AtomicBool,
+) -> io::Result<Option<Request>> {
+    // Accumulate until the blank line ending the head.
+    let head_end = loop {
+        if let Some(end) = find_head_end(carry) {
+            break end;
+        }
+        if carry.len() > MAX_HEAD_BYTES {
+            return Err(invalid("request head too large"));
+        }
+        if fill(stream, carry, stop)? == 0 {
+            if carry.is_empty() {
+                return Ok(None);
+            }
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed mid-request",
+            ));
+        }
+    };
+    if head_end > MAX_HEAD_BYTES {
+        return Err(invalid("request head too large"));
+    }
+    let head = std::str::from_utf8(&carry[..head_end - 4])
+        .map_err(|_| invalid("request head is not UTF-8"))?
+        .to_string();
+    carry.drain(..head_end);
+
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let method = parts.next().unwrap_or("").to_ascii_uppercase();
+    let path = parts.next().unwrap_or("").to_string();
+    let version = parts.next().unwrap_or("");
+    if method.is_empty() || path.is_empty() || !version.starts_with("HTTP/1.") {
+        return Err(invalid(format!("malformed request line: {request_line:?}")));
+    }
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| invalid(format!("malformed header line: {line:?}")))?;
+        if headers.len() >= MAX_HEADERS {
+            return Err(invalid("too many headers"));
+        }
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let content_length = match headers.iter().find(|(n, _)| n == "content-length") {
+        Some((_, v)) => v
+            .parse::<usize>()
+            .map_err(|_| invalid(format!("bad content-length: {v:?}")))?,
+        None => 0,
+    };
+    if content_length > max_body {
+        return Err(invalid(format!(
+            "body of {content_length} bytes exceeds the {max_body}-byte limit"
+        )));
+    }
+    while carry.len() < content_length {
+        if fill(stream, carry, stop)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed mid-body",
+            ));
+        }
+    }
+    let body: Vec<u8> = carry.drain(..content_length).collect();
+    Ok(Some(Request {
+        method,
+        path,
+        headers,
+        body,
+    }))
+}
+
+/// One response about to be written.
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Extra headers beyond `Content-Length`/`Connection` (which the writer
+    /// always emits itself).
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A response with no extra headers.
+    pub fn new(status: u16, body: Vec<u8>) -> Self {
+        Response {
+            status,
+            headers: Vec::new(),
+            body,
+        }
+    }
+
+    /// A JSON response (sets `Content-Type: application/json`).
+    pub fn json(status: u16, body: String) -> Self {
+        Response {
+            status,
+            headers: vec![("Content-Type".into(), "application/json".into())],
+            body: body.into_bytes(),
+        }
+    }
+}
+
+/// Canonical reason phrase for the status codes the gateway emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Serialises and writes `resp`, flushing before returning.
+pub fn write_response(
+    stream: &mut TcpStream,
+    resp: &Response,
+    keep_alive: bool,
+) -> io::Result<()> {
+    let mut head = format!("HTTP/1.1 {} {}\r\n", resp.status, reason(resp.status));
+    head.push_str(&format!("Content-Length: {}\r\n", resp.body.len()));
+    head.push_str(if keep_alive {
+        "Connection: keep-alive\r\n"
+    } else {
+        "Connection: close\r\n"
+    });
+    for (name, value) in &resp.headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(&resp.body)?;
+    stream.flush()
+}
+
+/// A keep-alive HTTP client over one TCP connection — enough for the load
+/// generator, the swap tool, and tests; the server side accepts real
+/// clients like `curl` just the same.
+pub struct Client {
+    stream: TcpStream,
+    carry: Vec<u8>,
+    stop: AtomicBool, // never raised; reuses the server-side read loop
+}
+
+/// A response as seen by [`Client`].
+#[derive(Debug)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Headers, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// First value of lowercased header `name`, if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+impl Client {
+    /// Connects to `addr` (e.g. `"127.0.0.1:8080"`).
+    pub fn connect(addr: &str) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            stream,
+            carry: Vec::new(),
+            stop: AtomicBool::new(false),
+        })
+    }
+
+    /// Sends one request and reads the full response.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: &[u8],
+    ) -> io::Result<ClientResponse> {
+        let mut head = format!("{method} {path} HTTP/1.1\r\nHost: msd-gateway\r\n");
+        head.push_str(&format!("Content-Length: {}\r\n", body.len()));
+        for (name, value) in headers {
+            head.push_str(&format!("{name}: {value}\r\n"));
+        }
+        head.push_str("\r\n");
+        self.stream.write_all(head.as_bytes())?;
+        self.stream.write_all(body)?;
+        self.stream.flush()?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> io::Result<ClientResponse> {
+        let head_end = loop {
+            if let Some(end) = find_head_end(&self.carry) {
+                break end;
+            }
+            if self.carry.len() > MAX_HEAD_BYTES {
+                return Err(invalid("response head too large"));
+            }
+            if fill(&mut self.stream, &mut self.carry, &self.stop)? == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-response",
+                ));
+            }
+        };
+        let head = std::str::from_utf8(&self.carry[..head_end - 4])
+            .map_err(|_| invalid("response head is not UTF-8"))?
+            .to_string();
+        self.carry.drain(..head_end);
+        let mut lines = head.split("\r\n");
+        let status_line = lines.next().unwrap_or("");
+        let status = status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse::<u16>().ok())
+            .ok_or_else(|| invalid(format!("malformed status line: {status_line:?}")))?;
+        let mut headers = Vec::new();
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            let (name, value) = line
+                .split_once(':')
+                .ok_or_else(|| invalid(format!("malformed header line: {line:?}")))?;
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        }
+        let content_length = match headers.iter().find(|(n, _)| n == "content-length") {
+            Some((_, v)) => v
+                .parse::<usize>()
+                .map_err(|_| invalid("bad content-length"))?,
+            None => 0,
+        };
+        while self.carry.len() < content_length {
+            if fill(&mut self.stream, &mut self.carry, &self.stop)? == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-body",
+                ));
+            }
+        }
+        let body: Vec<u8> = self.carry.drain(..content_length).collect();
+        Ok(ClientResponse {
+            status,
+            headers,
+            body,
+        })
+    }
+}
+
+/// Escapes `raw` for inclusion inside a JSON string literal.
+pub fn json_escape(raw: &str) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(raw.len());
+    for c in raw.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn request_round_trip_over_a_real_socket() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            stream
+                .set_read_timeout(Some(std::time::Duration::from_millis(20)))
+                .unwrap();
+            let stop = AtomicBool::new(false);
+            let mut carry = Vec::new();
+            let req = read_request(&mut stream, &mut carry, 1024, &stop)
+                .unwrap()
+                .unwrap();
+            assert_eq!(req.method, "POST");
+            assert_eq!(req.path, "/v1/models/m/predict");
+            assert_eq!(req.header("x-msd-key"), Some("alpha"));
+            assert_eq!(req.body, b"payload");
+            let mut resp = Response::new(200, b"pong".to_vec());
+            resp.headers.push(("X-Msd-Model-Version".into(), "3".into()));
+            write_response(&mut stream, &resp, true).unwrap();
+            // Second request on the same connection (keep-alive).
+            let req2 = read_request(&mut stream, &mut carry, 1024, &stop)
+                .unwrap()
+                .unwrap();
+            assert_eq!(req2.method, "GET");
+            assert!(req2.body.is_empty());
+            write_response(&mut stream, &Response::json(200, "{}".into()), false).unwrap();
+        });
+        let mut client = Client::connect(&addr.to_string()).unwrap();
+        let resp = client
+            .request(
+                "POST",
+                "/v1/models/m/predict",
+                &[("X-Msd-Key", "alpha")],
+                b"payload",
+            )
+            .unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, b"pong");
+        assert_eq!(resp.header("x-msd-model-version"), Some("3"));
+        let resp2 = client.request("GET", "/healthz", &[], b"").unwrap();
+        assert_eq!(resp2.status, 200);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn oversized_body_and_garbage_are_rejected_not_hung() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let stop = AtomicBool::new(false);
+            // Oversized declared body.
+            let (mut stream, _) = listener.accept().unwrap();
+            stream
+                .set_read_timeout(Some(std::time::Duration::from_millis(20)))
+                .unwrap();
+            let mut carry = Vec::new();
+            let err = read_request(&mut stream, &mut carry, 8, &stop).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+            // Garbage request line.
+            let (mut stream, _) = listener.accept().unwrap();
+            stream
+                .set_read_timeout(Some(std::time::Duration::from_millis(20)))
+                .unwrap();
+            let mut carry = Vec::new();
+            let err = read_request(&mut stream, &mut carry, 8, &stop).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        });
+        let mut a = TcpStream::connect(addr).unwrap();
+        a.write_all(b"POST /x HTTP/1.1\r\nContent-Length: 999\r\n\r\n")
+            .unwrap();
+        a.flush().unwrap();
+        let mut b = TcpStream::connect(addr).unwrap();
+        b.write_all(b"not http at all\r\n\r\n").unwrap();
+        b.flush().unwrap();
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn clean_eof_between_requests_is_none() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        drop(client); // connect then hang up without sending anything
+        let (mut stream, _) = listener.accept().unwrap();
+        stream
+            .set_read_timeout(Some(std::time::Duration::from_millis(20)))
+            .unwrap();
+        let stop = AtomicBool::new(false);
+        let mut carry = Vec::new();
+        assert!(read_request(&mut stream, &mut carry, 8, &stop)
+            .unwrap()
+            .is_none());
+    }
+}

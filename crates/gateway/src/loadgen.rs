@@ -1,0 +1,339 @@
+//! Multi-connection open-loop TCP load generation against a live gateway.
+//!
+//! This is the network-path sibling of [`msd_serve::loadgen`]: the same
+//! seeded Poisson arrival schedule and the same [`msd_serve::loadgen::Pacer`]
+//! honesty metrics (burst caps, scheduled-vs-actual skew), but driven over
+//! real sockets through the gateway's HTTP edge instead of in-process
+//! `Server::submit`. Requests are sharded round-robin across `connections`
+//! keep-alive TCP connections, each paced against the *global* arrival
+//! schedule, so concurrency comes from genuinely concurrent sockets rather
+//! than pipelining tricks.
+//!
+//! The driver records every response verbatim — status, version/replica
+//! headers, body bytes — so callers can byte-compare each prediction against
+//! a sequential [`msd_nn::Model::predict`] reference for the version that
+//! admitted it. A request with *no* response (torn connection) is `lost`;
+//! the gateway's contract is that `lost` is zero at any concurrency.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use msd_serve::loadgen::{arrival_offsets, LoadSpec, Pacer};
+use msd_serve::percentile;
+
+use crate::http::Client;
+
+/// One request to fire at the gateway.
+#[derive(Clone, Debug)]
+pub struct TcpRequest {
+    /// Model name (routes to `POST /v1/models/{model}/predict`).
+    pub model: String,
+    /// Routing key, sent as `X-Msd-Key`.
+    pub key: String,
+    /// Request body: an encoded [`crate::wire`] tensor frame.
+    pub body: Vec<u8>,
+}
+
+/// Pacing and sharding for one TCP run.
+#[derive(Clone, Debug)]
+pub struct TcpLoadSpec {
+    /// Mean arrival rate across *all* connections, requests/second. Zero
+    /// disables pacing (each connection fires as fast as it gets answers).
+    pub rate_rps: f64,
+    /// Concurrent keep-alive connections (≥ 1).
+    pub connections: usize,
+    /// Seed for the arrival schedule.
+    pub seed: u64,
+    /// Per-connection catch-up burst cap (see [`LoadSpec::max_burst`]).
+    pub max_burst: usize,
+}
+
+/// What one request got back, verbatim.
+#[derive(Clone, Debug)]
+pub struct TcpResponse {
+    /// HTTP status.
+    pub status: u16,
+    /// `X-Msd-Model-Version` header, when present (predict successes).
+    pub version: Option<u32>,
+    /// `X-Msd-Replica` header, when present.
+    pub replica: Option<usize>,
+    /// Response body bytes, untouched.
+    pub body: Vec<u8>,
+    /// Request latency (write first byte → last body byte), microseconds.
+    pub latency_us: u64,
+}
+
+/// A whole run, responses in request-index order.
+pub struct TcpRunOutcome {
+    /// Per-request response, `None` when the connection died before an
+    /// answer arrived (a *lost* request — the gateway contract says never).
+    pub responses: Vec<Option<TcpResponse>>,
+    /// Wall-clock for the whole run, seconds.
+    pub wall_s: f64,
+    /// Pacer skew: mean lateness, microseconds (worst connection's mean).
+    pub skew_mean_us: f64,
+    /// Pacer skew: worst single lateness across connections, microseconds.
+    pub skew_max_us: u64,
+    /// Total schedule re-anchors across connections.
+    pub reanchors: u64,
+}
+
+impl TcpRunOutcome {
+    /// Requests that never got any response.
+    pub fn lost(&self) -> usize {
+        self.responses.iter().filter(|r| r.is_none()).count()
+    }
+
+    /// Responses with the given status.
+    pub fn count_status(&self, status: u16) -> usize {
+        self.responses
+            .iter()
+            .flatten()
+            .filter(|r| r.status == status)
+            .count()
+    }
+
+    /// Sorted latencies of 200 responses, microseconds.
+    pub fn ok_latencies_sorted(&self) -> Vec<u64> {
+        let mut lat: Vec<u64> = self
+            .responses
+            .iter()
+            .flatten()
+            .filter(|r| r.status == 200)
+            .map(|r| r.latency_us)
+            .collect();
+        lat.sort_unstable();
+        lat
+    }
+}
+
+/// Drives `requests` at `addr` on the seeded open-loop schedule.
+///
+/// Request `i` goes to connection `i % connections`; each connection paces
+/// its share against the shared global schedule, so the aggregate arrival
+/// process is the same one [`msd_serve::loadgen::run_open_loop`] would
+/// produce in-process. Blocks until every connection finishes.
+pub fn run_tcp_open_loop(addr: &str, requests: &[TcpRequest], spec: &TcpLoadSpec) -> TcpRunOutcome {
+    let connections = spec.connections.max(1);
+    let offsets = arrival_offsets(&LoadSpec {
+        requests: requests.len(),
+        rate_rps: spec.rate_rps,
+        seed: spec.seed,
+        max_burst: spec.max_burst,
+    });
+    let start = Instant::now();
+    let mut results: Vec<Option<TcpResponse>> = vec![None; requests.len()];
+    let mut skew_mean_us = 0.0f64;
+    let mut skew_max_us = 0u64;
+    let mut reanchors = 0u64;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(connections);
+        for c in 0..connections {
+            let offsets = &offsets;
+            handles.push(scope.spawn(move || {
+                let mut client = Client::connect(addr).ok();
+                let mut pacer = Pacer::start(if spec.rate_rps > 0.0 { spec.max_burst } else { 0 });
+                let mut out: Vec<(usize, Option<TcpResponse>)> = Vec::new();
+                for i in (c..requests.len()).step_by(connections) {
+                    if spec.rate_rps > 0.0 {
+                        pacer.pace(offsets[i]);
+                    }
+                    let req = &requests[i];
+                    // One reconnect attempt per request: a died connection
+                    // must not strand the rest of this shard.
+                    if client.is_none() {
+                        client = Client::connect(addr).ok();
+                    }
+                    let resp = client.as_mut().and_then(|cl| {
+                        let sent = Instant::now();
+                        let path = format!("/v1/models/{}/predict", req.model);
+                        match cl.request(
+                            "POST",
+                            &path,
+                            &[
+                                ("X-Msd-Key", req.key.as_str()),
+                                ("Content-Type", crate::wire::CONTENT_TYPE),
+                            ],
+                            &req.body,
+                        ) {
+                            Ok(r) => Some(TcpResponse {
+                                status: r.status,
+                                version: r
+                                    .header("x-msd-model-version")
+                                    .and_then(|v| v.parse().ok()),
+                                replica: r.header("x-msd-replica").and_then(|v| v.parse().ok()),
+                                body: r.body,
+                                latency_us: sent.elapsed().as_micros() as u64,
+                            }),
+                            Err(_) => None,
+                        }
+                    });
+                    if resp.is_none() {
+                        client = None; // force reconnect next time
+                    }
+                    out.push((i, resp));
+                }
+                (out, pacer.skew_mean_us(), pacer.skew_max_us, pacer.reanchors)
+            }));
+        }
+        for h in handles {
+            let (out, mean, max, re) = h.join().expect("loadgen connection thread panicked");
+            for (i, resp) in out {
+                results[i] = resp;
+            }
+            skew_mean_us = skew_mean_us.max(mean);
+            skew_max_us = skew_max_us.max(max);
+            reanchors += re;
+        }
+    });
+    TcpRunOutcome {
+        responses: results,
+        wall_s: start.elapsed().as_secs_f64(),
+        skew_mean_us,
+        skew_max_us,
+        reanchors,
+    }
+}
+
+/// One sustained-RPS-vs-latency row of `target/BENCH_gateway.json`.
+#[derive(Clone, Debug)]
+pub struct GatewayBenchRow {
+    /// Scenario label (model mix).
+    pub scenario: String,
+    /// Requests fired.
+    pub requests: usize,
+    /// Concurrent connections.
+    pub connections: usize,
+    /// Offered rate, requests/second (0 = unpaced).
+    pub offered_rps: f64,
+    /// Achieved 200-rate, responses/second of wall clock.
+    pub achieved_rps: f64,
+    /// 200 responses.
+    pub ok: usize,
+    /// 429 responses (admission shed).
+    pub rejected: usize,
+    /// Non-200, non-429 responses.
+    pub failed: usize,
+    /// Requests with no response at all. The contract: always 0.
+    pub lost: usize,
+    /// Median request latency over 200s, microseconds.
+    pub p50_us: u64,
+    /// 95th percentile, microseconds.
+    pub p95_us: u64,
+    /// 99th percentile, microseconds.
+    pub p99_us: u64,
+    /// Mean pacer lateness (worst connection), microseconds.
+    pub skew_mean_us: f64,
+    /// Worst single pacer lateness, microseconds.
+    pub skew_max_us: u64,
+    /// Total schedule re-anchors.
+    pub reanchors: u64,
+}
+
+impl GatewayBenchRow {
+    /// Summarises `outcome` into a row.
+    pub fn from_outcome(
+        scenario: &str,
+        spec: &TcpLoadSpec,
+        outcome: &TcpRunOutcome,
+    ) -> GatewayBenchRow {
+        let ok = outcome.count_status(200);
+        let rejected = outcome.count_status(429);
+        let lost = outcome.lost();
+        let failed = outcome.responses.len() - ok - rejected - lost;
+        let lat = outcome.ok_latencies_sorted();
+        GatewayBenchRow {
+            scenario: scenario.to_string(),
+            requests: outcome.responses.len(),
+            connections: spec.connections,
+            offered_rps: spec.rate_rps,
+            achieved_rps: ok as f64 / outcome.wall_s.max(1e-9),
+            ok,
+            rejected,
+            failed,
+            lost,
+            p50_us: percentile(&lat, 50),
+            p95_us: percentile(&lat, 95),
+            p99_us: percentile(&lat, 99),
+            skew_mean_us: outcome.skew_mean_us,
+            skew_max_us: outcome.skew_max_us,
+            reanchors: outcome.reanchors,
+        }
+    }
+
+    /// Renders the row as one flat JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(320);
+        let _ = write!(
+            s,
+            "{{\"scenario\":\"{}\",\"requests\":{},\"connections\":{},\
+             \"offered_rps\":{:.1},\"achieved_rps\":{:.2},\"ok\":{},\"rejected\":{},\
+             \"failed\":{},\"lost\":{},\"p50_us\":{},\"p95_us\":{},\"p99_us\":{},\
+             \"skew_mean_us\":{:.1},\"skew_max_us\":{},\"reanchors\":{}}}",
+            self.scenario,
+            self.requests,
+            self.connections,
+            self.offered_rps,
+            self.achieved_rps,
+            self.ok,
+            self.rejected,
+            self.failed,
+            self.lost,
+            self.p50_us,
+            self.p95_us,
+            self.p99_us,
+            self.skew_mean_us,
+            self.skew_max_us,
+            self.reanchors
+        );
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_row_serialises_flat_json_and_counts_add_up() {
+        let outcome = TcpRunOutcome {
+            responses: vec![
+                Some(TcpResponse {
+                    status: 200,
+                    version: Some(1),
+                    replica: Some(0),
+                    body: vec![1, 2],
+                    latency_us: 120,
+                }),
+                Some(TcpResponse {
+                    status: 429,
+                    version: None,
+                    replica: None,
+                    body: vec![],
+                    latency_us: 15,
+                }),
+                None,
+            ],
+            wall_s: 0.5,
+            skew_mean_us: 3.5,
+            skew_max_us: 40,
+            reanchors: 0,
+        };
+        assert_eq!(outcome.lost(), 1);
+        assert_eq!(outcome.count_status(200), 1);
+        assert_eq!(outcome.ok_latencies_sorted(), vec![120]);
+        let spec = TcpLoadSpec {
+            rate_rps: 100.0,
+            connections: 2,
+            seed: 7,
+            max_burst: 8,
+        };
+        let row = GatewayBenchRow::from_outcome("mix", &spec, &outcome);
+        assert_eq!(row.ok + row.rejected + row.failed + row.lost, row.requests);
+        assert_eq!(row.lost, 1);
+        let json = row.to_json();
+        assert!(json.contains("\"lost\":1"), "{json}");
+        assert!(json.contains("\"p50_us\":120"), "{json}");
+        assert_eq!(json.matches('{').count(), 1, "{json}");
+    }
+}

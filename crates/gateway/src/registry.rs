@@ -1,0 +1,305 @@
+//! The multi-model registry: named models, replica `Server` sets, and
+//! zero-drop hot-swap.
+//!
+//! Each registered model is a *factory* (architecture + deterministic init)
+//! plus an optional parameter blob in [`msd_nn::store`] format. A published
+//! version is an [`Arc`]ed set of replica [`Server`]s; the predict path
+//! clones the `Arc` out of a short-held lock, so a hot-swap and in-flight
+//! traffic never contend for more than a pointer exchange.
+//!
+//! ## Hot-swap state machine (DESIGN.md §12)
+//!
+//! ```text
+//! BUILD    factory() x replicas, decode new params, start new Servers
+//!            | (failure here leaves the old version untouched — swap is
+//!            |  all-or-nothing)
+//! PUBLISH  swap the Arc under the entry lock: new requests admit to the
+//!            new version from this instant; the response's version header
+//!            says which version admitted each request
+//! DRAIN    the old Arc lives until its last in-flight request completes;
+//!            dropping it drains the old Servers (graceful, zero dropped)
+//! ```
+//!
+//! No request is ever lost across a swap: a request holds the version that
+//! admitted it for its whole lifetime, and `Server`'s drain-on-drop answers
+//! everything already admitted.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+use msd_nn::{DynModel, ParamStore};
+use msd_serve::{ServeConfig, ServeError, ServeStats, Server};
+use msd_tensor::Tensor;
+
+use crate::http::json_escape;
+use crate::router::route;
+
+/// Builds one fresh instance of a model: the architecture with its
+/// deterministic parameter initialisation. The registry overwrites the
+/// returned store's values when a parameter blob is supplied, so the
+/// factory fixes *names and shapes*; the blob fixes the numbers.
+pub type ModelFactory = Box<dyn Fn() -> (DynModel, ParamStore) + Send + Sync>;
+
+/// One published model version: `replicas` independent serving runtimes
+/// over identical parameters.
+pub struct ReplicaSet {
+    /// Monotonic version number, starting at 1 for the registered model.
+    pub version: u32,
+    servers: Vec<Server>,
+}
+
+impl ReplicaSet {
+    /// Number of replica servers in this version.
+    pub fn replicas(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Live stats snapshots, one per replica.
+    pub fn stats(&self) -> Vec<ServeStats> {
+        self.servers.iter().map(|s| s.stats()).collect()
+    }
+}
+
+/// Everything the gateway reports about one answered prediction.
+pub struct PredictOk {
+    /// The prediction, bit-identical to `Model::predict` on the version's
+    /// parameters.
+    pub y: Tensor,
+    /// Version that admitted (and answered) the request.
+    pub version: u32,
+    /// Replica index the router chose.
+    pub replica: usize,
+}
+
+/// Why the registry could not answer a predict call.
+#[derive(Debug)]
+pub enum GatewayError {
+    /// No model registered under that name.
+    UnknownModel(String),
+    /// The chosen replica's admission queue was full.
+    Overloaded,
+    /// The replica answered with an internal serving error (worker panic).
+    Internal(String),
+    /// The replica is shutting down.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for GatewayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GatewayError::UnknownModel(name) => write!(f, "unknown model {name:?}"),
+            GatewayError::Overloaded => write!(f, "admission queue full"),
+            GatewayError::Internal(msg) => write!(f, "internal error: {msg}"),
+            GatewayError::ShuttingDown => write!(f, "shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for GatewayError {}
+
+struct Entry {
+    factory: ModelFactory,
+    current: Mutex<Arc<ReplicaSet>>,
+    next_version: AtomicU32,
+}
+
+/// Named models and their live replica sets.
+pub struct Registry {
+    models: RwLock<BTreeMap<String, Arc<Entry>>>,
+    serve_cfg: ServeConfig,
+    replicas: usize,
+}
+
+impl Registry {
+    /// An empty registry whose models each run `replicas` servers built
+    /// from `serve_cfg`.
+    pub fn new(serve_cfg: ServeConfig, replicas: usize) -> Registry {
+        Registry {
+            models: RwLock::new(BTreeMap::new()),
+            serve_cfg,
+            replicas: replicas.max(1),
+        }
+    }
+
+    fn build_set(&self, factory: &ModelFactory, params: Option<&[u8]>, version: u32) -> io::Result<ReplicaSet> {
+        let mut servers = Vec::with_capacity(self.replicas);
+        for _ in 0..self.replicas {
+            let (model, mut store) = factory();
+            if let Some(bytes) = params {
+                // Validates names/shapes against the factory-built store and
+                // commits all-or-nothing; a bad blob aborts the whole build.
+                msd_nn::store::decode(&mut store, bytes)?;
+            }
+            servers.push(Server::start(model, store, self.serve_cfg.clone())?);
+        }
+        Ok(ReplicaSet { version, servers })
+    }
+
+    /// Registers `name` at version 1. `params` optionally overrides the
+    /// factory's initial parameters with a stored blob (any format
+    /// [`msd_nn::store::decode`] accepts).
+    ///
+    /// Fails with `AlreadyExists` if the name is taken — use
+    /// [`Registry::swap`] to replace a live model.
+    pub fn register(&self, name: &str, factory: ModelFactory, params: Option<&[u8]>) -> io::Result<u32> {
+        let mut models = self.models.write().unwrap_or_else(|p| p.into_inner());
+        if models.contains_key(name) {
+            return Err(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                format!("model {name:?} is already registered"),
+            ));
+        }
+        let set = self.build_set(&factory, params, 1)?;
+        models.insert(
+            name.to_string(),
+            Arc::new(Entry {
+                factory,
+                current: Mutex::new(Arc::new(set)),
+                next_version: AtomicU32::new(2),
+            }),
+        );
+        Ok(1)
+    }
+
+    fn entry(&self, name: &str) -> Result<Arc<Entry>, GatewayError> {
+        self.models
+            .read()
+            .unwrap_or_else(|p| p.into_inner())
+            .get(name)
+            .cloned()
+            .ok_or_else(|| GatewayError::UnknownModel(name.to_string()))
+    }
+
+    /// Hot-swaps `name` to new parameters under traffic.
+    ///
+    /// All-or-nothing: the new replica set is fully built and serving
+    /// before the publish, and any failure (bad blob, shape mismatch)
+    /// leaves the old version untouched and still serving. Zero requests
+    /// drop across the publish — in-flight requests complete against the
+    /// version that admitted them.
+    pub fn swap(&self, name: &str, params: &[u8]) -> io::Result<u32> {
+        let entry = self
+            .entry(name)
+            .map_err(|e| io::Error::new(io::ErrorKind::NotFound, e.to_string()))?;
+        let version = entry.next_version.fetch_add(1, Ordering::Relaxed);
+        let set = Arc::new(self.build_set(&entry.factory, Some(params), version)?);
+        let old = {
+            let mut current = entry.current.lock().unwrap_or_else(|p| p.into_inner());
+            std::mem::replace(&mut *current, set)
+        };
+        // `old` drains here if no request still holds it; otherwise the last
+        // in-flight request performs the drain when it drops its clone.
+        drop(old);
+        Ok(version)
+    }
+
+    /// Routes one request: picks the replica deterministically from `key`,
+    /// submits, and waits for the answer.
+    pub fn predict(&self, name: &str, key: &[u8], x: Tensor) -> Result<PredictOk, GatewayError> {
+        let entry = self.entry(name)?;
+        // Clone the published version out of the short-held lock; the swap
+        // path can publish a successor at any time without affecting us.
+        let set = entry
+            .current
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone();
+        let replica = route(key, set.servers.len());
+        match set.servers[replica].infer(x) {
+            Ok(y) => Ok(PredictOk {
+                y,
+                version: set.version,
+                replica,
+            }),
+            Err(ServeError::Overloaded) => Err(GatewayError::Overloaded),
+            Err(ServeError::Internal(msg)) => Err(GatewayError::Internal(msg)),
+            Err(ServeError::ShuttingDown) | Err(ServeError::Canceled) => {
+                Err(GatewayError::ShuttingDown)
+            }
+        }
+    }
+
+    /// Registered model names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.models
+            .read()
+            .unwrap_or_else(|p| p.into_inner())
+            .keys()
+            .cloned()
+            .collect()
+    }
+
+    /// The live version number of `name`.
+    pub fn version(&self, name: &str) -> Result<u32, GatewayError> {
+        let entry = self.entry(name)?;
+        let set = entry
+            .current
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone();
+        Ok(set.version)
+    }
+
+    /// Per-model, per-replica stats as one JSON object:
+    /// `{"models":[{"model":...,"version":...,"submitted":...,"replicas":[...]}]}`.
+    pub fn stats_json(&self) -> String {
+        let entries: Vec<(String, Arc<ReplicaSet>)> = {
+            let models = self.models.read().unwrap_or_else(|p| p.into_inner());
+            models
+                .iter()
+                .map(|(name, e)| {
+                    (
+                        name.clone(),
+                        e.current.lock().unwrap_or_else(|p| p.into_inner()).clone(),
+                    )
+                })
+                .collect()
+        };
+        let mut s = String::from("{\"models\":[");
+        for (i, (name, set)) in entries.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let stats = set.stats();
+            let (mut submitted, mut completed, mut rejected, mut failed) = (0u64, 0u64, 0u64, 0u64);
+            for st in &stats {
+                submitted += st.submitted;
+                completed += st.completed;
+                rejected += st.rejected;
+                failed += st.failed;
+            }
+            let _ = write!(
+                s,
+                "{{\"model\":\"{}\",\"version\":{},\"submitted\":{},\"completed\":{},\
+                 \"rejected\":{},\"failed\":{},\"replicas\":[",
+                json_escape(name),
+                set.version,
+                submitted,
+                completed,
+                rejected,
+                failed
+            );
+            for (j, st) in stats.iter().enumerate() {
+                if j > 0 {
+                    s.push(',');
+                }
+                s.push_str(&st.to_json());
+            }
+            s.push_str("]}");
+        }
+        s.push_str("]}");
+        s
+    }
+
+    /// Drops every model, draining all replica servers (blocks until every
+    /// in-flight request is answered).
+    pub fn shutdown(&self) {
+        self.models
+            .write()
+            .unwrap_or_else(|p| p.into_inner())
+            .clear();
+    }
+}

@@ -1,0 +1,79 @@
+//! Deterministic request routing across model replicas.
+//!
+//! The contract (DESIGN.md §12): the replica serving a request is a pure
+//! function of the client-supplied routing key and the replica count —
+//! `replica = FNV-1a-64(key) mod n`. Two requests with the same key always
+//! land on the same replica of a given deployment, on every machine and in
+//! every run; the mapping only changes when the replica count does. An
+//! absent key hashes as the empty byte string, so keyless traffic is
+//! deterministic too (all of it lands on one replica — callers who want
+//! spreading supply keys).
+//!
+//! FNV-1a was chosen because it is a five-line, dependency-free, endian-
+//! independent spec that any client in any language can reimplement
+//! byte-for-byte; routing never needs cryptographic strength, it needs an
+//! *auditable* constant.
+
+/// FNV-1a 64-bit offset basis.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// FNV-1a 64-bit prime.
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a 64-bit hash of `bytes`.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// The replica index (`0..replicas`) serving routing key `key`.
+///
+/// # Panics
+/// Panics if `replicas` is zero — an empty replica set is unreachable by
+/// construction (the registry never publishes one).
+pub fn route(key: &[u8], replicas: usize) -> usize {
+    assert!(replicas > 0, "route over an empty replica set");
+    (fnv1a64(key) % replicas as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_matches_the_published_test_vectors() {
+        // Golden vectors from the FNV reference implementation.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn routing_is_stable_and_in_range() {
+        for replicas in 1..=8usize {
+            for key in [&b""[..], b"user-17", b"series/42", b"\x00\xff"] {
+                let first = route(key, replicas);
+                assert!(first < replicas);
+                for _ in 0..3 {
+                    assert_eq!(route(key, replicas), first, "unstable route");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_keys_spread_across_replicas() {
+        let replicas = 4;
+        let mut hits = [0usize; 4];
+        for i in 0..1000 {
+            hits[route(format!("key-{i}").as_bytes(), replicas)] += 1;
+        }
+        for (i, &h) in hits.iter().enumerate() {
+            assert!(h > 100, "replica {i} starved: {hits:?}");
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! The binary tensor frame carried by the hot-path predict endpoint.
+//!
+//! Text encodings burn cycles exactly where the gateway is supposed to be
+//! cheap, so predictions travel as a fixed little-endian frame (the HTTP
+//! `Content-Length` is the outer length prefix; the frame itself carries
+//! the shape):
+//!
+//! ```text
+//! offset  size        field
+//! 0       4           magic "MSDT"
+//! 4       4           ndim: u32 LE            (1 ..= MAX_DIMS)
+//! 8       4 * ndim    dims[i]: u32 LE
+//! ...     4 * Πdims   row-major f32 LE payload
+//! ```
+//!
+//! Decoding is byte-exact and paranoid: magic, rank, per-dim and total
+//! element caps are all checked against the *declared* sizes before any
+//! allocation, and the frame length must match the declaration to the byte.
+//! Floats round-trip as raw bits — NaN payloads and signed zeros included —
+//! so a framed tensor is bit-identical on both ends of the socket.
+
+use msd_tensor::Tensor;
+
+/// Frame magic, first 4 bytes on the wire.
+pub const TENSOR_MAGIC: &[u8; 4] = b"MSDT";
+
+/// Largest accepted tensor rank.
+pub const MAX_DIMS: usize = 8;
+
+/// Largest accepted element count (64 MiB of f32 payload).
+pub const MAX_ELEMS: usize = 1 << 24;
+
+/// Media type for frames travelling over HTTP.
+pub const CONTENT_TYPE: &str = "application/x-msd-tensor";
+
+/// Encodes `t` as one wire frame.
+pub fn encode_tensor(t: &Tensor) -> Vec<u8> {
+    let data = t.data();
+    let mut out = Vec::with_capacity(8 + 4 * t.ndim() + 4 * data.len());
+    out.extend_from_slice(TENSOR_MAGIC);
+    out.extend_from_slice(&(t.ndim() as u32).to_le_bytes());
+    for &d in t.shape() {
+        out.extend_from_slice(&(d as u32).to_le_bytes());
+    }
+    for &x in data {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+    out
+}
+
+fn read_u32(bytes: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes([bytes[at], bytes[at + 1], bytes[at + 2], bytes[at + 3]])
+}
+
+/// Decodes one wire frame, validating every declared size before allocating.
+pub fn decode_tensor(bytes: &[u8]) -> Result<Tensor, String> {
+    if bytes.len() < 8 {
+        return Err(format!("frame of {} bytes is too short", bytes.len()));
+    }
+    if &bytes[..4] != TENSOR_MAGIC {
+        return Err("bad frame magic (want MSDT)".into());
+    }
+    let ndim = read_u32(bytes, 4) as usize;
+    if ndim == 0 || ndim > MAX_DIMS {
+        return Err(format!("rank {ndim} outside 1..={MAX_DIMS}"));
+    }
+    let dims_end = 8 + 4 * ndim;
+    if bytes.len() < dims_end {
+        return Err("frame truncated inside the dims".into());
+    }
+    let mut shape = Vec::with_capacity(ndim);
+    let mut elems: usize = 1;
+    for i in 0..ndim {
+        let d = read_u32(bytes, 8 + 4 * i) as usize;
+        elems = elems
+            .checked_mul(d)
+            .filter(|&n| n <= MAX_ELEMS)
+            .ok_or_else(|| format!("declared shape {shape:?}x{d} exceeds {MAX_ELEMS} elements"))?;
+        shape.push(d);
+    }
+    let expect = dims_end + 4 * elems;
+    if bytes.len() != expect {
+        return Err(format!(
+            "frame length {} does not match declared {} bytes",
+            bytes.len(),
+            expect
+        ));
+    }
+    let data: Vec<f32> = bytes[dims_end..]
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect();
+    Ok(Tensor::from_vec(&shape, data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_is_bit_exact_including_nan_payloads() {
+        let data = vec![
+            1.5f32,
+            -0.0,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            f32::from_bits(0x7fc0_dead), // NaN with payload
+            f32::MIN_POSITIVE / 2.0,     // subnormal
+        ];
+        let t = Tensor::from_vec(&[1, 2, 3], data.clone());
+        let back = decode_tensor(&encode_tensor(&t)).unwrap();
+        assert_eq!(back.shape(), &[1, 2, 3]);
+        for (a, b) in data.iter().zip(back.data()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_rejected() {
+        let t = Tensor::from_vec(&[2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let frame = encode_tensor(&t);
+        for cut in 0..frame.len() {
+            assert!(decode_tensor(&frame[..cut]).is_err(), "cut at {cut}");
+        }
+        assert!(decode_tensor(&frame).is_ok());
+    }
+
+    #[test]
+    fn hostile_declarations_are_rejected_before_allocation() {
+        // Wrong magic.
+        assert!(decode_tensor(b"NOPE\x01\x00\x00\x00").is_err());
+        // Rank 0 and rank 9.
+        let mut f = Vec::from(*TENSOR_MAGIC);
+        f.extend_from_slice(&0u32.to_le_bytes());
+        assert!(decode_tensor(&f).is_err());
+        let mut f = Vec::from(*TENSOR_MAGIC);
+        f.extend_from_slice(&9u32.to_le_bytes());
+        f.extend_from_slice(&[0u8; 36]);
+        assert!(decode_tensor(&f).is_err());
+        // Overflowing element product: [u32::MAX, u32::MAX].
+        let mut f = Vec::from(*TENSOR_MAGIC);
+        f.extend_from_slice(&2u32.to_le_bytes());
+        f.extend_from_slice(&u32::MAX.to_le_bytes());
+        f.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_tensor(&f).is_err());
+        // Declared data longer than the frame.
+        let t = Tensor::from_vec(&[4], vec![0.0; 4]);
+        let mut frame = encode_tensor(&t);
+        frame.push(0);
+        assert!(decode_tensor(&frame).is_err());
+    }
+}

@@ -1,0 +1,222 @@
+//! Open-loop TCP load generator and differential checker for a live
+//! `msd-gateway` instance serving the demo fleet.
+//!
+//! Every run is a *differential* run, not just a throughput run: the
+//! generator rebuilds the demo models locally ([`msd_harness::gwdemo`]) and
+//! byte-compares each 200 response against sequential `Model::predict` for
+//! the version named in the response's `X-Msd-Model-Version` header. Any
+//! mismatch, any lost request (no response at all), or any status outside
+//! {200, 429} exits non-zero — a latency number can never be bought with
+//! wrong or dropped answers.
+//!
+//! `--rates` sweeps sustained offered rates, appending one
+//! RPS-vs-latency row per rate to `--out` (default
+//! `target/BENCH_gateway.json`, the CI artifact). `--swap-after-ms` fires a
+//! hot-swap of the first demo model to its v2 parameters mid-run; the
+//! differential check then verifies *both* versions' bytes.
+//!
+//! ```text
+//! msd-gateway --demo --addr-file target/gw.addr &
+//! msd-gateway-loadgen --target "$(cat target/gw.addr)" \
+//!     --requests 500 --connections 4 --swap-after-ms 150
+//! ```
+
+use std::io::Write as _;
+use std::time::Duration;
+
+use msd_gateway::http::Client;
+use msd_gateway::loadgen::{run_tcp_open_loop, GatewayBenchRow, TcpLoadSpec, TcpRequest};
+use msd_gateway::wire;
+use msd_harness::gwdemo::{find, DEMO_MODELS};
+use msd_tensor::Tensor;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: msd-gateway-loadgen --target <ip:port> [options]\n\
+           --target <ip:port>    gateway address (required)\n\
+           --requests <n>        requests per rate, mixed across the demo fleet (default 400)\n\
+           --connections <n>     concurrent keep-alive connections (default 4)\n\
+           --rates <csv>         offered rates to sweep, rps; 0 = unpaced (default 0)\n\
+           --seed <n>            arrival-schedule seed (default 42)\n\
+           --max-burst <n>       per-connection catch-up burst cap (default 16)\n\
+           --swap-after-ms <n>   hot-swap {first} to v2 this long into the first rate\n\
+           --out <path>          JSONL report sink (default target/BENCH_gateway.json)",
+        first = DEMO_MODELS[0].name
+    );
+    std::process::exit(2)
+}
+
+fn parse<T: std::str::FromStr>(v: Option<&String>) -> T {
+    v.and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut target: Option<String> = None;
+    let mut requests = 400usize;
+    let mut connections = 4usize;
+    let mut rates: Vec<f64> = vec![0.0];
+    let mut seed = 42u64;
+    let mut max_burst = 16usize;
+    let mut swap_after_ms: Option<u64> = None;
+    let mut out = String::from("target/BENCH_gateway.json");
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--target" => target = Some(parse(it.next())),
+            "--requests" => requests = parse(it.next()),
+            "--connections" => connections = parse(it.next()),
+            "--rates" => {
+                let csv: String = parse(it.next());
+                rates = csv
+                    .split(',')
+                    .map(|s| s.trim().parse().unwrap_or_else(|_| usage()))
+                    .collect();
+                if rates.is_empty() {
+                    usage();
+                }
+            }
+            "--seed" => seed = parse(it.next()),
+            "--max-burst" => max_burst = parse(it.next()),
+            "--swap-after-ms" => swap_after_ms = Some(parse(it.next())),
+            "--out" => out = parse(it.next()),
+            _ => usage(),
+        }
+    }
+    let target = target.unwrap_or_else(|| usage());
+
+    // Request i exercises demo model i % fleet with its i-th seeded input;
+    // the key spreads deterministically across replicas.
+    let inputs: Vec<(usize, Tensor)> = (0..requests)
+        .map(|i| {
+            let m = i % DEMO_MODELS.len();
+            (m, DEMO_MODELS[m].input(i as u64))
+        })
+        .collect();
+    let reqs: Vec<TcpRequest> = inputs
+        .iter()
+        .enumerate()
+        .map(|(i, (m, x))| TcpRequest {
+            model: DEMO_MODELS[*m].name.to_string(),
+            key: format!("key-{i}"),
+            body: wire::encode_tensor(x),
+        })
+        .collect();
+
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    let mut report = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&out)
+        .expect("open --out report file");
+
+    let mut exit_code = 0;
+    for (ri, &rate) in rates.iter().enumerate() {
+        let spec = TcpLoadSpec {
+            rate_rps: rate,
+            connections,
+            seed: seed + ri as u64,
+            max_burst,
+        };
+        // The swap drill runs during the first rate only; later rates keep
+        // verifying against whatever version the gateway reports.
+        let swapper = swap_after_ms.filter(|_| ri == 0).map(|ms| {
+            let addr = target.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(ms));
+                let m = DEMO_MODELS[0].name;
+                let mut client = Client::connect(&addr).expect("connect for swap");
+                let r = client
+                    .request(
+                        "POST",
+                        &format!("/v1/models/{m}/swap"),
+                        &[],
+                        &DEMO_MODELS[0].params_v2(),
+                    )
+                    .expect("send swap");
+                assert_eq!(
+                    r.status,
+                    200,
+                    "swap rejected: {}",
+                    String::from_utf8_lossy(&r.body)
+                );
+                eprintln!("hot-swapped {m} to v2 at +{ms}ms");
+            })
+        });
+        eprintln!(
+            "rate {rate} rps: {requests} requests over {connections} connections -> {target}"
+        );
+        let outcome = run_tcp_open_loop(&target, &reqs, &spec);
+        if let Some(s) = swapper {
+            s.join().expect("swap thread");
+        }
+
+        // Differential check: every answered 200 must carry the exact bits
+        // of sequential predict for the version that admitted it.
+        let mut mismatches = 0usize;
+        let mut bad_status = 0usize;
+        let mut versions = std::collections::BTreeMap::<(String, u32), usize>::new();
+        for (i, resp) in outcome.responses.iter().enumerate() {
+            let Some(resp) = resp else { continue }; // counted via lost()
+            match resp.status {
+                200 => {
+                    let (m, x) = &inputs[i];
+                    let demo = find(DEMO_MODELS[*m].name).unwrap();
+                    let version = resp.version.unwrap_or(0);
+                    *versions.entry((demo.name.to_string(), version)).or_default() += 1;
+                    let want = demo.reference(version, x);
+                    let got = match wire::decode_tensor(&resp.body) {
+                        Ok(t) => t,
+                        Err(e) => {
+                            eprintln!("request {i}: undecodable body: {e}");
+                            mismatches += 1;
+                            continue;
+                        }
+                    };
+                    let same = got.shape() == want.shape()
+                        && got
+                            .data()
+                            .iter()
+                            .zip(want.data())
+                            .all(|(a, b)| a.to_bits() == b.to_bits());
+                    if !same {
+                        eprintln!(
+                            "request {i}: bytes diverge from sequential predict ({} v{version})",
+                            demo.name
+                        );
+                        mismatches += 1;
+                    }
+                }
+                429 => {} // shed load is a measured outcome, not an error
+                s => {
+                    eprintln!(
+                        "request {i}: status {s}: {}",
+                        String::from_utf8_lossy(&resp.body)
+                    );
+                    bad_status += 1;
+                }
+            }
+        }
+        let lost = outcome.lost();
+        let row = GatewayBenchRow::from_outcome(&format!("demo-mix-r{rate}"), &spec, &outcome);
+        let line = row.to_json();
+        println!("{line}");
+        writeln!(report, "{line}").expect("append report line");
+        for ((model, version), n) in &versions {
+            eprintln!("  {model} v{version}: {n} responses");
+        }
+        eprintln!(
+            "  ok={} rejected={} failed={} lost={} p50={}us p99={}us achieved={:.1} rps",
+            row.ok, row.rejected, row.failed, row.lost, row.p50_us, row.p99_us, row.achieved_rps
+        );
+        if lost > 0 || mismatches > 0 || bad_status > 0 {
+            eprintln!(
+                "FAIL at rate {rate}: lost={lost} mismatches={mismatches} bad_status={bad_status}"
+            );
+            exit_code = 1;
+        }
+    }
+    std::process::exit(exit_code);
+}

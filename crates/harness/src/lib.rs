@@ -18,6 +18,7 @@
 
 pub mod checkpoint;
 pub mod experiments;
+pub mod gwdemo;
 mod model;
 mod registry;
 mod report;

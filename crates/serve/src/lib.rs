@@ -44,7 +44,7 @@ pub mod loadgen;
 mod stats;
 
 pub use events::ServeEvent;
-pub use stats::ServeStats;
+pub use stats::{percentile, ServeStats};
 
 use std::panic::AssertUnwindSafe;
 use std::path::PathBuf;
@@ -259,6 +259,16 @@ impl Server {
 
     /// Stops admitting requests, drains every in-flight batch, joins all
     /// threads, and returns the final counters.
+    ///
+    /// `shutdown` consumes `self`, so `Drop` runs afterwards and calls
+    /// [`Server::drain`] a second time — `drain` is idempotent by
+    /// construction (every field it touches is `take`n or `drain`ed on the
+    /// first pass), so the second pass joins nothing and cannot double-join
+    /// a thread. The counter invariant `completed + failed + rejected ==
+    /// submitted` holds at the moment `shutdown` returns even when a worker
+    /// panics on a batch *during* the drain: the panic is caught in
+    /// [`worker_loop`] and every request of that batch is answered and
+    /// counted as failed before the worker picks up its next batch.
     pub fn shutdown(mut self) -> ServeStats {
         self.drain();
         let stats = self.shared.stats.snapshot();
@@ -273,6 +283,14 @@ impl Server {
         // Dropping the intake sender ends the batcher's recv loop once the
         // queue is empty; the batcher then drops the batch sender, which
         // ends the workers once dispatched batches are answered.
+        //
+        // Idempotent: `take()`/`drain(..)` leave nothing behind for a second
+        // call (shutdown-then-Drop) to join again. Worker panics never reach
+        // `join` as an `Err` from inside a batch — `worker_loop` catches
+        // them — so an `Err` here can only mean a bug outside the eval path;
+        // ignoring it is safe because every response channel a dead thread
+        // held is dropped, which surfaces to callers as `Canceled` rather
+        // than a hang.
         drop(self.intake.take());
         if let Some(b) = self.batcher.take() {
             let _ = b.join();
@@ -334,8 +352,20 @@ fn batcher_loop(
             }
         }
         shared.stats.note_batch(batch.len());
-        if tx.send(batch).is_err() {
-            break; // every worker is gone; no one left to answer
+        if let Err(send_err) = tx.send(batch) {
+            // Every worker is gone (the only way the batch channel closes
+            // while the batcher lives). The failed send hands the batch
+            // back; answer each request instead of dropping it on the floor,
+            // which would strand callers on `Canceled` and leave the
+            // `completed+failed+rejected == submitted` ledger unbalanced.
+            let batch = send_err.0;
+            shared.stats.note_failed(batch.len());
+            for r in batch {
+                let _ = r
+                    .resp
+                    .send(Err(ServeError::Internal("worker pool exited".into())));
+            }
+            break;
         }
     }
     // Unreachable unless the worker pool died with a batch seeded: answer
@@ -372,13 +402,29 @@ fn worker_loop(
         }));
         let eval_us = t0.elapsed().as_micros() as u64;
         match result {
-            Ok(ys) => {
+            Ok(ys) if ys.len() == batch.len() => {
                 let size = batch.len();
                 for (req, y) in batch.into_iter().zip(ys) {
                     shared.stats.note_done(req.admitted.elapsed().as_micros() as u64);
                     let _ = req.resp.send(Ok(y));
                 }
                 shared.events.emit(&ServeEvent::BatchEnd { size, eval_us });
+            }
+            Ok(ys) => {
+                // A model returning the wrong output count is a contract
+                // violation; zipping would silently truncate and strand the
+                // tail of the batch without a response. Fail the whole batch
+                // loudly instead.
+                let message = format!(
+                    "model returned {} outputs for a batch of {}",
+                    ys.len(),
+                    batch.len()
+                );
+                shared.stats.note_failed(batch.len());
+                for req in batch {
+                    let _ = req.resp.send(Err(ServeError::Internal(message.clone())));
+                }
+                shared.events.emit(&ServeEvent::WorkerPanic { message });
             }
             Err(payload) => {
                 // The half-built tape is gone with the unwound stack; start

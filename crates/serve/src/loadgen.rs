@@ -27,6 +27,25 @@ pub struct LoadSpec {
     pub rate_rps: f64,
     /// RNG seed for the arrival schedule.
     pub seed: u64,
+    /// Longest run of overdue arrivals submitted back-to-back before the
+    /// schedule re-anchors to the present (0 = unlimited, the legacy
+    /// behaviour). An open-loop driver that falls behind — say a slow batch
+    /// stalled every response — would otherwise fire *all* overdue arrivals
+    /// in one burst, measuring a self-inflicted queueing spike as tail
+    /// latency. Capping the burst keeps the drive honest; every re-anchor
+    /// is counted and the scheduled-vs-actual skew is reported.
+    pub max_burst: usize,
+}
+
+impl Default for LoadSpec {
+    fn default() -> Self {
+        LoadSpec {
+            requests: 0,
+            rate_rps: 0.0,
+            seed: 0,
+            max_burst: 0,
+        }
+    }
 }
 
 /// The deterministic arrival schedule for `spec`, as offsets from the start
@@ -46,6 +65,77 @@ pub fn arrival_offsets(spec: &LoadSpec) -> Vec<Duration> {
         .collect()
 }
 
+/// Paces an open-loop schedule against the wall clock, capping catch-up
+/// bursts and recording scheduled-vs-actual submission skew.
+///
+/// Shared by the in-process driver ([`run_open_loop`]) and the gateway's
+/// multi-connection TCP driver, so both report the same honesty metrics.
+pub struct Pacer {
+    anchor: Instant,
+    anchor_offset: Duration,
+    max_burst: usize,
+    burst: usize,
+    /// Arrivals submitted, paced or late.
+    pub submitted: u64,
+    /// Σ lateness (actual − scheduled) over late arrivals, microseconds.
+    pub skew_total_us: u64,
+    /// Worst single lateness, microseconds.
+    pub skew_max_us: u64,
+    /// Times the schedule re-anchored after an over-long catch-up burst.
+    pub reanchors: u64,
+}
+
+impl Pacer {
+    /// A pacer starting its schedule now. `max_burst` of 0 never re-anchors.
+    pub fn start(max_burst: usize) -> Self {
+        Pacer {
+            anchor: Instant::now(),
+            anchor_offset: Duration::ZERO,
+            max_burst,
+            burst: 0,
+            submitted: 0,
+            skew_total_us: 0,
+            skew_max_us: 0,
+            reanchors: 0,
+        }
+    }
+
+    /// Blocks until `offset` (relative to the schedule origin) is due, then
+    /// returns. Overdue arrivals return immediately; after `max_burst`
+    /// consecutive overdue arrivals the schedule re-anchors to the present,
+    /// so a long stall is absorbed as a recorded re-anchor instead of a
+    /// burst of every overdue arrival at once.
+    pub fn pace(&mut self, offset: Duration) {
+        let target = self.anchor + offset.saturating_sub(self.anchor_offset);
+        let now = Instant::now();
+        if let Some(gap) = target.checked_duration_since(now) {
+            std::thread::sleep(gap);
+            self.burst = 0;
+        } else {
+            let late_us = now.duration_since(target).as_micros() as u64;
+            self.skew_total_us += late_us;
+            self.skew_max_us = self.skew_max_us.max(late_us);
+            self.burst += 1;
+            if self.max_burst > 0 && self.burst > self.max_burst {
+                self.reanchors += 1;
+                self.anchor = now;
+                self.anchor_offset = offset;
+                self.burst = 0;
+            }
+        }
+        self.submitted += 1;
+    }
+
+    /// Mean lateness across every paced arrival, microseconds.
+    pub fn skew_mean_us(&self) -> f64 {
+        if self.submitted == 0 {
+            0.0
+        } else {
+            self.skew_total_us as f64 / self.submitted as f64
+        }
+    }
+}
+
 /// What happened to each submitted request, in submission order.
 pub struct RunOutcome {
     /// Per-request result: the prediction, or the typed reason it failed.
@@ -54,6 +144,12 @@ pub struct RunOutcome {
     pub wall_s: f64,
     /// Completed responses per second of wall-clock.
     pub throughput_rps: f64,
+    /// Mean scheduled-vs-actual submission lateness, microseconds.
+    pub skew_mean_us: f64,
+    /// Worst scheduled-vs-actual submission lateness, microseconds.
+    pub skew_max_us: u64,
+    /// Times the arrival schedule re-anchored after a capped burst.
+    pub reanchors: u64,
 }
 
 /// Drives `inputs` through `server` on the arrival schedule of `spec`
@@ -69,12 +165,13 @@ pub fn run_open_loop(server: &Server, inputs: &[Tensor], spec: &LoadSpec) -> Run
     };
     let offsets = arrival_offsets(&spec);
     let start = Instant::now();
+    let mut pacer = Pacer::start(if spec.rate_rps > 0.0 { spec.max_burst } else { 0 });
     let mut pending: Vec<(usize, Pending)> = Vec::with_capacity(spec.requests);
     let mut responses: Vec<Option<Result<Tensor, ServeError>>> =
         (0..spec.requests).map(|_| None).collect();
     for (i, offset) in offsets.iter().enumerate() {
-        if let Some(gap) = (start + *offset).checked_duration_since(Instant::now()) {
-            std::thread::sleep(gap);
+        if spec.rate_rps > 0.0 {
+            pacer.pace(*offset);
         }
         match server.submit(inputs[i].clone()) {
             Ok(p) => pending.push((i, p)),
@@ -94,6 +191,9 @@ pub fn run_open_loop(server: &Server, inputs: &[Tensor], spec: &LoadSpec) -> Run
         throughput_rps: completed as f64 / wall_s.max(1e-9),
         wall_s,
         responses,
+        skew_mean_us: pacer.skew_mean_us(),
+        skew_max_us: pacer.skew_max_us,
+        reanchors: pacer.reanchors,
     }
 }
 
@@ -137,6 +237,12 @@ pub struct BenchReport {
     pub p99_us: u64,
     /// Requests shed at admission during the served run.
     pub rejected: u64,
+    /// Mean scheduled-vs-actual submission lateness, microseconds.
+    pub skew_mean_us: f64,
+    /// Worst scheduled-vs-actual submission lateness, microseconds.
+    pub skew_max_us: u64,
+    /// Times the open-loop schedule re-anchored after a capped burst.
+    pub reanchors: u64,
 }
 
 impl BenchReport {
@@ -152,7 +258,8 @@ impl BenchReport {
             s,
             "{{\"model\":\"{}\",\"requests\":{},\"workers\":{},\"max_batch\":{},\
              \"sequential_rps\":{:.2},\"served_rps\":{:.2},\"speedup\":{:.3},\
-             \"mean_batch\":{:.3},\"p50_us\":{},\"p95_us\":{},\"p99_us\":{},\"rejected\":{}}}",
+             \"mean_batch\":{:.3},\"p50_us\":{},\"p95_us\":{},\"p99_us\":{},\"rejected\":{},\
+             \"skew_mean_us\":{:.1},\"skew_max_us\":{},\"reanchors\":{}}}",
             self.model,
             self.requests,
             self.workers,
@@ -164,7 +271,10 @@ impl BenchReport {
             self.p50_us,
             self.p95_us,
             self.p99_us,
-            self.rejected
+            self.rejected,
+            self.skew_mean_us,
+            self.skew_max_us,
+            self.reanchors
         );
         s
     }
@@ -180,6 +290,7 @@ mod tests {
             requests: 64,
             rate_rps: 10_000.0,
             seed: 42,
+            ..LoadSpec::default()
         };
         let a = arrival_offsets(&spec);
         let b = arrival_offsets(&spec);
@@ -200,6 +311,7 @@ mod tests {
             requests: 5,
             rate_rps: 0.0,
             seed: 1,
+            ..LoadSpec::default()
         };
         assert!(arrival_offsets(&spec).iter().all(|d| d.is_zero()));
     }
@@ -218,10 +330,41 @@ mod tests {
             p95_us: 2100,
             p99_us: 3000,
             rejected: 3,
+            skew_mean_us: 12.5,
+            skew_max_us: 480,
+            reanchors: 1,
         };
         assert!((r.speedup() - 4.0).abs() < 1e-9);
         let json = r.to_json();
         assert!(json.contains("\"speedup\":4.000"), "{json}");
+        assert!(json.contains("\"skew_max_us\":480"), "{json}");
+        assert!(json.contains("\"reanchors\":1"), "{json}");
         assert_eq!(json.matches('{').count(), 1, "{json}");
+    }
+
+    #[test]
+    fn pacer_caps_catchup_bursts_and_records_skew() {
+        // A schedule entirely in the past: every arrival is overdue, so an
+        // uncapped pacer would fire all of them back-to-back. With
+        // max_burst = 4 the schedule must re-anchor at least once, and the
+        // skew metrics must see the lateness.
+        let mut capped = Pacer::start(4);
+        for i in 0..20u64 {
+            // Offsets far behind: schedule asked for i µs, we are already ms late.
+            std::thread::sleep(Duration::from_micros(50));
+            capped.pace(Duration::from_micros(i));
+        }
+        assert_eq!(capped.submitted, 20);
+        assert!(capped.reanchors >= 1, "burst cap never re-anchored");
+        assert!(capped.skew_max_us >= capped.skew_total_us / 20);
+
+        // max_burst = 0 preserves the legacy behaviour: never re-anchor.
+        let mut uncapped = Pacer::start(0);
+        for i in 0..20u64 {
+            std::thread::sleep(Duration::from_micros(50));
+            uncapped.pace(Duration::from_micros(i));
+        }
+        assert_eq!(uncapped.reanchors, 0);
+        assert!(uncapped.skew_mean_us() > 0.0);
     }
 }

@@ -70,20 +70,29 @@ impl StatsInner {
             } else {
                 batched as f64 / batches as f64
             },
-            p50_us: percentile(&lat, 0.50),
-            p95_us: percentile(&lat, 0.95),
-            p99_us: percentile(&lat, 0.99),
+            p50_us: percentile(&lat, 50),
+            p95_us: percentile(&lat, 95),
+            p99_us: percentile(&lat, 99),
         }
     }
 }
 
 /// Nearest-rank percentile of an ascending-sorted sample (0 when empty).
-fn percentile(sorted: &[u64], q: f64) -> u64 {
+///
+/// `pct` is the percentile in whole percent (`50` = median). The rank is
+/// the nearest-rank definition `⌈pct·n/100⌉`, computed in integer
+/// arithmetic: the old floating-point form `(q * n).ceil()` was off-by-one
+/// whenever the product landed just above an integer boundary (`0.55 * 20`
+/// is `11.000000000000002` in f64, so its ceiling claimed rank 12 where
+/// nearest-rank says 11). Integers make every boundary exact, including the
+/// small-sample cases (`n ∈ {1, 2}`) where each misrank is visible.
+pub fn percentile(sorted: &[u64], pct: u64) -> u64 {
     if sorted.is_empty() {
         return 0;
     }
-    let rank = (q * sorted.len() as f64).ceil() as usize;
-    sorted[rank.clamp(1, sorted.len()) - 1]
+    let rank = (pct * sorted.len() as u64).div_ceil(100);
+    let rank = rank.clamp(1, sorted.len() as u64) as usize;
+    sorted[rank - 1]
 }
 
 /// A point-in-time snapshot of the runtime's counters.
@@ -142,11 +151,43 @@ mod tests {
     #[test]
     fn percentiles_use_nearest_rank() {
         let lat: Vec<u64> = (1..=100).collect();
-        assert_eq!(percentile(&lat, 0.50), 50);
-        assert_eq!(percentile(&lat, 0.95), 95);
-        assert_eq!(percentile(&lat, 0.99), 99);
-        assert_eq!(percentile(&[7], 0.99), 7);
-        assert_eq!(percentile(&[], 0.5), 0);
+        assert_eq!(percentile(&lat, 50), 50);
+        assert_eq!(percentile(&lat, 95), 95);
+        assert_eq!(percentile(&lat, 99), 99);
+        assert_eq!(percentile(&[7], 99), 7);
+        assert_eq!(percentile(&[], 50), 0);
+    }
+
+    #[test]
+    fn percentiles_known_answers_small_and_large_samples() {
+        // Known nearest-rank answers for n ∈ {1, 2, 3, 4, 100}. rank is
+        // ⌈pct·n/100⌉ (1-indexed) — exact, no float boundary drift.
+        // n = 1: every percentile is the sole element.
+        for pct in [1, 50, 95, 99, 100] {
+            assert_eq!(percentile(&[7], pct), 7, "n=1 p{pct}");
+        }
+        // n = 2: p50 → rank ⌈1.0⌉ = 1; p95 → ⌈1.9⌉ = 2; p99 → ⌈1.98⌉ = 2.
+        assert_eq!(percentile(&[10, 20], 50), 10);
+        assert_eq!(percentile(&[10, 20], 95), 20);
+        assert_eq!(percentile(&[10, 20], 99), 20);
+        // n = 3: p50 → ⌈1.5⌉ = 2; p95 → ⌈2.85⌉ = 3; p99 → ⌈2.97⌉ = 3.
+        assert_eq!(percentile(&[10, 20, 30], 50), 20);
+        assert_eq!(percentile(&[10, 20, 30], 95), 30);
+        assert_eq!(percentile(&[10, 20, 30], 99), 30);
+        // n = 4: p50 → ⌈2.0⌉ = 2 (exact boundary); p95 → ⌈3.8⌉ = 4.
+        assert_eq!(percentile(&[10, 20, 30, 40], 50), 20);
+        assert_eq!(percentile(&[10, 20, 30, 40], 95), 40);
+        assert_eq!(percentile(&[10, 20, 30, 40], 99), 40);
+        assert_eq!(percentile(&[10, 20, 30, 40], 25), 10);
+        assert_eq!(percentile(&[10, 20, 30, 40], 100), 40);
+        // n = 100 boundary cases that trip float ceil: p55·100 = 55 exactly.
+        let lat: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&lat, 55), 55);
+        assert_eq!(percentile(&lat, 1), 1);
+        assert_eq!(percentile(&lat, 100), 100);
+        // n = 20: 0.55 * 20 = 11.000000000000002 in f64 → old code said 12.
+        let lat20: Vec<u64> = (1..=20).collect();
+        assert_eq!(percentile(&lat20, 55), 11);
     }
 
     #[test]

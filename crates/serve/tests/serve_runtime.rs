@@ -196,6 +196,64 @@ fn worker_panic_fails_only_that_batch_and_serving_continues() {
 }
 
 #[test]
+fn worker_panic_during_shutdown_keeps_counters_balanced() {
+    // Satellite regression: `shutdown` drains while a batch is still being
+    // evaluated; a panic *inside that drain window* must still answer every
+    // request and keep `completed + failed + rejected == submitted`. The
+    // shutdown-then-Drop double-drain must also be a no-op (no double-join
+    // hang, no poisoned-lock panic).
+    for seed in 0..5u64 {
+        let mut store = ParamStore::new();
+        let model = Tripwire(Affine::new(&mut store, 2, 6));
+        let server = Server::start(
+            model,
+            store,
+            ServeConfig {
+                max_batch: 1, // each sample is its own batch
+                max_wait: Duration::ZERO,
+                queue_cap: 64,
+                workers: 2,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let mut pending = Vec::new();
+        let mut submitted = 0u64;
+        for i in 0..24u64 {
+            let mut x = sample(2, 6, seed * 1000 + i);
+            // Poison a third of the batches; they panic whenever the worker
+            // reaches them — for late queue positions that is mid-drain.
+            if i % 3 == 1 {
+                x.data_mut()[0] = POISON;
+            }
+            if let Ok(p) = server.submit(x) {
+                pending.push((i, p));
+                submitted += 1;
+            }
+        }
+        // Shut down immediately: most of the queue is still in flight, so
+        // poisoned batches panic while the drain is running.
+        let stats = server.shutdown();
+        assert_eq!(stats.submitted, submitted);
+        assert_eq!(stats.rejected, 0, "cap-64 queue must admit all 24");
+        assert_eq!(
+            stats.completed + stats.failed + stats.rejected,
+            stats.submitted,
+            "ledger imbalance: {stats:?}"
+        );
+        assert!(stats.failed >= 1, "at least one poisoned batch must fail");
+        // Every handle resolves: a typed error, never a Canceled hang.
+        for (i, p) in pending {
+            match p.wait() {
+                Ok(_) => assert!(i % 3 != 1, "poisoned request {i} succeeded"),
+                Err(ServeError::Internal(_)) => assert!(i % 3 == 1, "clean request {i} failed"),
+                Err(e) => panic!("request {i}: unexpected error {e}"),
+            }
+        }
+    }
+}
+
+#[test]
 fn shutdown_drains_every_in_flight_request() {
     let mut store = ParamStore::new();
     let model = Affine::new(&mut store, 2, 6);
@@ -261,6 +319,7 @@ fn smoke_1k_mixed_shape_requests_zero_lost_zero_corrupted() {
             requests: 1000,
             rate_rps: 0.0, // flat out; queue_cap covers the full load
             seed: 7,
+            ..LoadSpec::default()
         },
     );
     assert_eq!(outcome.responses.len(), 1000);

@@ -123,3 +123,30 @@ grep -q '"kind":"epoch"' target/BENCH_kernels.json || {
   echo "kernel report missing epoch timing" >&2; exit 1;
 }
 echo "kernel bench OK: report in target/BENCH_kernels.json"
+
+# Gateway smoke: a real msd-gateway process on an ephemeral port serving the
+# two-model demo fleet, then 500 mixed requests over 4 TCP connections at a
+# sustained paced rate with a hot-swap landing mid-run, followed by a second
+# sweep at double the rate. The load generator rebuilds the demo models in
+# its own process and byte-compares every response against sequential
+# predict for the version each response's header names; it exits non-zero on
+# any lost request, any byte mismatch, or any status outside {200, 429}.
+# Appends RPS-vs-latency rows to target/BENCH_gateway.json (CI artifact).
+rm -f target/gw.addr target/BENCH_gateway.json
+cargo run --release --offline -p msd-harness --bin msd-gateway -- \
+  --demo --addr-file target/gw.addr --replicas 2 --run-secs 120 &
+GW_PID=$!
+trap 'kill "$GW_PID" 2>/dev/null || true' EXIT
+for _ in $(seq 1 200); do [ -f target/gw.addr ] && break; sleep 0.1; done
+test -f target/gw.addr || { echo "gateway never published its address" >&2; exit 1; }
+cargo run --release --offline -p msd-harness --bin msd-gateway-loadgen -- \
+  --target "$(cat target/gw.addr)" --requests 500 --connections 4 \
+  --rates 800,1600 --swap-after-ms 150
+kill "$GW_PID" 2>/dev/null || true
+wait "$GW_PID" 2>/dev/null || true
+trap - EXIT
+test -s target/BENCH_gateway.json || { echo "gateway smoke wrote no report" >&2; exit 1; }
+if grep -qE '"lost":[1-9]' target/BENCH_gateway.json; then
+  echo "gateway smoke lost requests" >&2; exit 1
+fi
+echo "gateway smoke OK: report in target/BENCH_gateway.json"
