@@ -70,8 +70,11 @@ define_ops! {
     /// Multiplication by a constant (non-differentiable) tensor, e.g. a
     /// dropout or imputation mask.
     MulConst(Tensor),
-    /// Addition of a constant tensor (no gradient through the constant).
-    AddConst,
+    /// Addition of a scalar constant to every element.
+    AddScalar(f32),
+    /// Addition of a constant (non-differentiable) tensor; stores the
+    /// constant so compiled plans can replay the op.
+    AddConst(Tensor),
     Linear,
     /// Fused `gelu(x · W + b)`; stores the pre-activation for the backward
     /// pass. Parents are `(x, w[, b])`, exactly like [`Op::Linear`].
@@ -121,6 +124,7 @@ define_ops! {
     LayerNorm {
         mean: Tensor,
         rstd: Tensor,
+        eps: f32,
     },
     /// Non-overlapping max pooling over the last axis; stores the winning
     /// flat indices for the backward scatter.
@@ -457,7 +461,8 @@ pub(crate) fn backward_op(node: &Node, grad_out: &Tensor, nodes: &[Node]) -> Vec
         Op::Neg => vec![Some(grad_out.neg())],
         Op::Scale(s) => vec![Some(grad_out.scale(*s))],
         Op::MulConst(c) => vec![Some(grad_out.mul(c))],
-        Op::AddConst => vec![Some(grad_out.clone())],
+        Op::AddScalar(_) => vec![Some(grad_out.clone())],
+        Op::AddConst(_) => vec![Some(grad_out.clone())],
         Op::Linear => crate::ops_linalg::linear_backward(node, grad_out, nodes),
         Op::Matmul { rhs_is_2d } => {
             crate::ops_linalg::matmul_backward(node, grad_out, nodes, *rhs_is_2d)
@@ -500,7 +505,7 @@ pub(crate) fn backward_op(node: &Node, grad_out: &Tensor, nodes: &[Node]) -> Vec
             let dpre = Tensor::from_vec(pre.shape(), dpre);
             crate::ops_linalg::linear_backward(node, &dpre, nodes)
         }
-        Op::LayerNorm { mean, rstd } => {
+        Op::LayerNorm { mean, rstd, eps: _ } => {
             let x = pv(0);
             let gamma = pv(1);
             let d = gamma.len();
@@ -781,6 +786,53 @@ mod tests {
         let y = g2.input(Tensor::from_vec(&[2], vec![5.0, 6.0]));
         let z = g2.scale(y, 2.0);
         assert_eq!(g2.value(z).data(), &[10.0, 12.0]);
+    }
+
+    /// Property test: one arena threaded through a random sequence of
+    /// shape-changing evals must produce bit-identical results to a fresh
+    /// graph per eval — recycling may reuse capacity but never values.
+    #[test]
+    fn recycled_arena_matches_fresh_eval_over_random_shape_sequences() {
+        use msd_tensor::rng::Rng;
+
+        let forward = |g: &Graph, x: Tensor, w: &Tensor| {
+            let rows = x.shape()[0];
+            let xv = g.input(x);
+            let wv = g.input(w.clone());
+            let h = g.linear(xv, wv, None);
+            let h = g.gelu(h);
+            let y = g.add(h, g.scale(h, -0.5));
+            let p = g.mean_axis(y, 1);
+            let out = g.concat(&[g.reshape(p, &[rows, 1]), y], 1);
+            g.value(out).clone()
+        };
+
+        let mut rng = Rng::seed_from(0xA2E7);
+        let w = Tensor::randn(&[5, 3], 0.7, &mut rng);
+        let mut arena = TapeArena::default();
+        for step in 0..24 {
+            // Random row count 1..=9 drives both tape length and tensor
+            // sizes, so shrinking and growing shapes both get exercised.
+            let rows = 1 + (rng.next_u64() % 9) as usize;
+            let x = Tensor::randn(&[rows, 5], 1.0, &mut rng);
+
+            let recycled = Graph::eval_with(arena);
+            assert!(recycled.is_empty(), "step {step}: recycled tape not empty");
+            let got = forward(&recycled, x.clone(), &w);
+            arena = recycled.recycle();
+
+            let fresh = Graph::eval();
+            let want = forward(&fresh, x, &w);
+
+            assert_eq!(got.shape(), want.shape(), "step {step}: shape drift");
+            for (i, (a, b)) in got.data().iter().zip(want.data()).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "step {step}: byte mismatch at element {i}"
+                );
+            }
+        }
     }
 
     #[test]

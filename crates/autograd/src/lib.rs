@@ -32,5 +32,7 @@ mod ops_nn;
 mod ops_reduce;
 
 pub mod check;
+pub mod plan;
 
 pub use graph::{Gradients, Graph, ParamId, TapeArena, Var, ALL_OPS};
+pub use plan::{CompiledPlan, ParamSource, PlanArena, PlanError};

@@ -43,7 +43,7 @@ impl Graph {
     /// Adds the scalar `s` (constant shift; gradient passes through).
     pub fn add_scalar(&self, a: Var, s: f32) -> Var {
         let value = self.with_value(a, |t| t.add_scalar(s));
-        self.push_unary(a, value, Op::AddConst)
+        self.push_unary(a, value, Op::AddScalar(s))
     }
 
     /// Elementwise multiplication by a constant tensor `c` (no gradient into
@@ -57,7 +57,7 @@ impl Graph {
     /// constant).
     pub fn add_const(&self, a: Var, c: &Tensor) -> Var {
         let value = self.with_value(a, |t| t.add(c));
-        self.push_unary(a, value, Op::AddConst)
+        self.push_unary(a, value, Op::AddConst(c.clone()))
     }
 
     /// Elementwise square.

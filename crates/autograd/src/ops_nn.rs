@@ -151,7 +151,7 @@ impl Graph {
         };
         self.push(Node {
             value,
-            op: Op::LayerNorm { mean, rstd },
+            op: Op::LayerNorm { mean, rstd, eps },
             parents,
             needs_grad,
             param: None,

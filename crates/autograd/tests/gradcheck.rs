@@ -397,6 +397,7 @@ fn maxpool_forward_values() {
 
 // gradcheck: Abs
 // gradcheck: AddConst
+// gradcheck: AddScalar
 #[test]
 fn grad_abs_and_add_const() {
     // Shift values away from |x| = 0 so FD never straddles the kink.

@@ -109,6 +109,11 @@ impl Baseline for DLinear {
             _ => combined,
         }
     }
+
+    fn plan_prelude(&self, x: &Tensor) -> Vec<Tensor> {
+        let (trend, season) = self.decompose_batch(x);
+        vec![trend, season]
+    }
 }
 
 #[cfg(test)]

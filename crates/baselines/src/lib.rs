@@ -67,6 +67,15 @@ pub trait Baseline {
 
     /// Builds the forward computation for a batch.
     fn forward(&self, ctx: &Ctx, x: &Tensor) -> Var;
+
+    /// Input-derived tensors the forward pushes as non-parameter leaves, in
+    /// push order — the contract of [`msd_nn::Model::plan_prelude`]. Models
+    /// that decompose the input outside the tape (DLinear's moving average,
+    /// NLinear's last-value offset) override this so their eval forwards
+    /// stay compilable into inference plans.
+    fn plan_prelude(&self, x: &Tensor) -> Vec<Tensor> {
+        vec![x.clone()]
+    }
 }
 
 /// Implements the unified [`msd_nn::Model`] trait for a learned baseline by
@@ -84,6 +93,9 @@ macro_rules! impl_model_for_baseline {
             }
             fn forward(&self, ctx: &Ctx, x: &Tensor) -> ModelOutput {
                 ModelOutput::pred_only(Baseline::forward(self, ctx, x))
+            }
+            fn plan_prelude(&self, x: &Tensor) -> Vec<Tensor> {
+                Baseline::plan_prelude(self, x)
             }
         }
     )+};

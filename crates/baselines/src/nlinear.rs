@@ -13,6 +13,7 @@ use msd_tensor::Tensor;
 pub struct NLinear {
     task: Task,
     input_len: usize,
+    out_len: usize,
     channels: usize,
     fc: Linear,
     classify_fc: Option<Linear>,
@@ -45,10 +46,31 @@ impl NLinear {
         Self {
             task,
             input_len,
+            out_len,
             channels,
             fc,
             classify_fc,
         }
+    }
+
+    /// Last-value decomposition (parameter-free, outside the tape):
+    /// `centered = x - last` and the per-row last value broadcast to the
+    /// output length, shaped `[B, C, out_len]`.
+    fn centered_and_offset(&self, x: &Tensor) -> (Tensor, Tensor) {
+        let l = self.input_len;
+        let rows = x.len() / l;
+        let mut centered = x.clone();
+        let mut offset = Tensor::zeros(&[x.shape()[0], x.shape()[1], self.out_len]);
+        for r in 0..rows {
+            let lv = x.data()[r * l + l - 1];
+            for v in &mut centered.data_mut()[r * l..(r + 1) * l] {
+                *v -= lv;
+            }
+            for v in &mut offset.data_mut()[r * self.out_len..(r + 1) * self.out_len] {
+                *v = lv;
+            }
+        }
+        (centered, offset)
     }
 }
 
@@ -63,40 +85,18 @@ impl Baseline for NLinear {
 
     fn forward(&self, ctx: &Ctx, x: &Tensor) -> Var {
         let g = ctx.g;
-        let (b, c, l) = (x.shape()[0], x.shape()[1], x.shape()[2]);
-        debug_assert_eq!(l, self.input_len);
-        // Last-value offsets, broadcast over time (constant w.r.t. params).
-        let mut last = Tensor::zeros(&[b, c, 1]);
-        for r in 0..b * c {
-            last.data_mut()[r] = x.data()[r * l + l - 1];
-        }
-        let centered: Tensor = {
-            let mut out = x.clone();
-            for r in 0..b * c {
-                let lv = last.data()[r];
-                for v in &mut out.data_mut()[r * l..(r + 1) * l] {
-                    *v -= lv;
-                }
-            }
-            out
-        };
+        let b = x.shape()[0];
+        debug_assert_eq!(x.shape()[2], self.input_len);
+        let (centered, offset) = self.centered_and_offset(x);
         let out = self.fc.forward(ctx, g.input(centered));
-        let out_len = g.shape_of(out)[2];
-        // Add the last value back (except for classification logits).
-        let offset = {
-            let mut t = Tensor::zeros(&[b, c, out_len]);
-            for r in 0..b * c {
-                let lv = last.data()[r];
-                for v in &mut t.data_mut()[r * out_len..(r + 1) * out_len] {
-                    *v = lv;
-                }
-            }
-            t
-        };
-        let restored = g.add_const(out, &offset);
+        // Add the last value back (except for classification logits). The
+        // offset enters as an input leaf — not an op payload — so compiled
+        // plans can rebind it per batch; `add` on a no-grad leaf runs the
+        // exact kernel `add_const` did.
+        let restored = g.add(out, g.input(offset));
         match &self.task {
             Task::Classify { .. } => {
-                let flat = g.reshape(restored, &[b, self.channels * out_len]);
+                let flat = g.reshape(restored, &[b, self.channels * self.out_len]);
                 self.classify_fc
                     .as_ref()
                     .expect("classify head")
@@ -104,6 +104,11 @@ impl Baseline for NLinear {
             }
             _ => restored,
         }
+    }
+
+    fn plan_prelude(&self, x: &Tensor) -> Vec<Tensor> {
+        let (centered, offset) = self.centered_and_offset(x);
+        vec![centered, offset]
     }
 }
 

@@ -74,6 +74,7 @@ fn main() {
                 queue_cap: requests,
                 workers,
                 events_path: None,
+                use_plans: true,
             },
         )
         .expect("start serve runtime");

@@ -79,6 +79,31 @@ fn find_head_end(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n").map(|i| i + 4)
 }
 
+/// Extracts `Content-Length` from a lowercased header list, strictly.
+///
+/// Stricter than `str::parse::<usize>` on purpose: a leading `+` (which
+/// `from_str` accepts) and any non-digit byte are rejected, and a repeated
+/// `Content-Length` header is refused outright — mismatched copies are the
+/// classic request-smuggling vector, and even matching ones signal a peer
+/// whose framing cannot be trusted.
+fn parse_content_length(headers: &[(String, String)]) -> io::Result<usize> {
+    let mut found: Option<&str> = None;
+    for (name, value) in headers {
+        if name == "content-length" {
+            if found.is_some() {
+                return Err(invalid("duplicate content-length header"));
+            }
+            found = Some(value);
+        }
+    }
+    let Some(v) = found else { return Ok(0) };
+    if v.is_empty() || !v.bytes().all(|b| b.is_ascii_digit()) {
+        return Err(invalid(format!("bad content-length: {v:?}")));
+    }
+    v.parse::<usize>()
+        .map_err(|_| invalid(format!("bad content-length: {v:?}")))
+}
+
 /// Reads one request from `stream`, carrying unconsumed bytes between calls
 /// in `carry` (pipelined or keep-alive traffic parks there).
 ///
@@ -96,7 +121,11 @@ pub fn read_request(
         if let Some(end) = find_head_end(carry) {
             break end;
         }
-        if carry.len() > MAX_HEAD_BYTES {
+        // `>=`, not `>`: a full 16 KiB of headless bytes can never become a
+        // valid head (the terminator would have been found above), so reject
+        // now — waiting for more bytes pinned the connection forever when a
+        // peer sent exactly `MAX_HEAD_BYTES` and stopped.
+        if carry.len() >= MAX_HEAD_BYTES {
             return Err(invalid("request head too large"));
         }
         if fill(stream, carry, stop)? == 0 {
@@ -140,12 +169,7 @@ pub fn read_request(
         headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
     }
 
-    let content_length = match headers.iter().find(|(n, _)| n == "content-length") {
-        Some((_, v)) => v
-            .parse::<usize>()
-            .map_err(|_| invalid(format!("bad content-length: {v:?}")))?,
-        None => 0,
-    };
+    let content_length = parse_content_length(&headers)?;
     if content_length > max_body {
         return Err(invalid(format!(
             "body of {content_length} bytes exceeds the {max_body}-byte limit"
@@ -303,7 +327,7 @@ impl Client {
             if let Some(end) = find_head_end(&self.carry) {
                 break end;
             }
-            if self.carry.len() > MAX_HEAD_BYTES {
+            if self.carry.len() >= MAX_HEAD_BYTES {
                 return Err(invalid("response head too large"));
             }
             if fill(&mut self.stream, &mut self.carry, &self.stop)? == 0 {
@@ -334,12 +358,7 @@ impl Client {
                 .ok_or_else(|| invalid(format!("malformed header line: {line:?}")))?;
             headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
         }
-        let content_length = match headers.iter().find(|(n, _)| n == "content-length") {
-            Some((_, v)) => v
-                .parse::<usize>()
-                .map_err(|_| invalid("bad content-length"))?,
-            None => 0,
-        };
+        let content_length = parse_content_length(&headers)?;
         while self.carry.len() < content_length {
             if fill(&mut self.stream, &mut self.carry, &self.stop)? == 0 {
                 return Err(io::Error::new(
@@ -459,6 +478,123 @@ mod tests {
         b.write_all(b"not http at all\r\n\r\n").unwrap();
         b.flush().unwrap();
         server.join().unwrap();
+    }
+
+    /// Accept one connection, apply `read_request`, and return its result —
+    /// the server half of every hostile-input test below.
+    fn serve_one(
+        listener: &TcpListener,
+        max_body: usize,
+    ) -> io::Result<Option<Request>> {
+        let (mut stream, _) = listener.accept().unwrap();
+        stream
+            .set_read_timeout(Some(std::time::Duration::from_millis(20)))
+            .unwrap();
+        let stop = AtomicBool::new(false);
+        let mut carry = Vec::new();
+        read_request(&mut stream, &mut carry, max_body, &stop)
+    }
+
+    #[test]
+    fn exactly_max_head_bytes_of_valid_head_is_accepted() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || serve_one(&listener, 1024));
+        // Pad the head to land the terminating blank line exactly on the
+        // 16 KiB boundary; the cap is inclusive of a complete head.
+        let fixed = "POST /x HTTP/1.1\r\nContent-Length: 7\r\nX-Pad: \r\n\r\n";
+        let head = format!(
+            "POST /x HTTP/1.1\r\nContent-Length: 7\r\nX-Pad: {}\r\n\r\n",
+            "a".repeat(MAX_HEAD_BYTES - fixed.len())
+        );
+        assert_eq!(head.len(), MAX_HEAD_BYTES);
+        let mut c = TcpStream::connect(addr).unwrap();
+        c.write_all(head.as_bytes()).unwrap();
+        c.write_all(b"payload").unwrap();
+        c.flush().unwrap();
+        let req = server.join().unwrap().unwrap().unwrap();
+        assert_eq!(req.body, b"payload");
+    }
+
+    #[test]
+    fn max_head_bytes_without_terminator_rejects_instead_of_hanging() {
+        // Regression: the cap check was `>`, so a peer that sent exactly
+        // MAX_HEAD_BYTES of headless bytes and then went quiet pinned the
+        // connection forever waiting for a terminator that cannot fit.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || serve_one(&listener, 1024));
+        let mut c = TcpStream::connect(addr).unwrap();
+        let junk = format!("GET /{} HTTP/1.1\r\n", "a".repeat(MAX_HEAD_BYTES));
+        c.write_all(&junk.as_bytes()[..MAX_HEAD_BYTES]).unwrap();
+        c.flush().unwrap();
+        // Keep the socket open: the reject must come from the cap, not EOF.
+        let err = server.join().unwrap().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        drop(c);
+    }
+
+    #[test]
+    fn content_length_must_be_plain_ascii_digits() {
+        // `usize::from_str` accepts a leading `+`; the wire grammar must not.
+        for bad in ["+7", "7a", "1e2", "", "٣"] {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let addr = listener.local_addr().unwrap();
+            let server = std::thread::spawn(move || serve_one(&listener, 1024));
+            let mut c = TcpStream::connect(addr).unwrap();
+            c.write_all(
+                format!("POST /x HTTP/1.1\r\nContent-Length: {bad}\r\n\r\npayload").as_bytes(),
+            )
+            .unwrap();
+            c.flush().unwrap();
+            let err = server.join().unwrap().unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "value {bad:?}");
+        }
+    }
+
+    #[test]
+    fn duplicate_content_length_is_rejected() {
+        // Even two *matching* copies: duplicated framing headers are the
+        // classic smuggling vector, so the grammar refuses them outright.
+        for second in ["7", "8"] {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let addr = listener.local_addr().unwrap();
+            let server = std::thread::spawn(move || serve_one(&listener, 1024));
+            let mut c = TcpStream::connect(addr).unwrap();
+            c.write_all(
+                format!(
+                    "POST /x HTTP/1.1\r\nContent-Length: 7\r\nContent-Length: {second}\r\n\r\npayload"
+                )
+                .as_bytes(),
+            )
+            .unwrap();
+            c.flush().unwrap();
+            let err = server.join().unwrap().unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "second copy {second:?}");
+        }
+    }
+
+    #[test]
+    fn header_count_cap_boundary() {
+        for (count, ok) in [(MAX_HEADERS, true), (MAX_HEADERS + 1, false)] {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let addr = listener.local_addr().unwrap();
+            let server = std::thread::spawn(move || serve_one(&listener, 1024));
+            let mut head = String::from("GET /x HTTP/1.1\r\n");
+            for i in 0..count {
+                head.push_str(&format!("x-h{i}: v\r\n"));
+            }
+            head.push_str("\r\n");
+            let mut c = TcpStream::connect(addr).unwrap();
+            c.write_all(head.as_bytes()).unwrap();
+            c.flush().unwrap();
+            let result = server.join().unwrap();
+            if ok {
+                assert_eq!(result.unwrap().unwrap().headers.len(), MAX_HEADERS);
+            } else {
+                assert_eq!(result.unwrap_err().kind(), io::ErrorKind::InvalidData);
+            }
+        }
     }
 
     #[test]

@@ -16,7 +16,7 @@ fn usage() -> ! {
         "usage: msd-experiment <family> [options]\n\
          families: long-term | short-term | imputation | anomaly |\n\
                    classification | ablation | case-study | smoke |\n\
-                   ckpt-smoke | all\n\
+                   ckpt-smoke | plan-dump | all\n\
          options:\n\
            --telemetry <path>       write JSONL training telemetry (= MSD_TELEMETRY)\n\
            --max-retries <n>        divergence retries before abort (= MSD_MAX_RETRIES)\n\
@@ -30,6 +30,8 @@ fn usage() -> ! {
          results cached under target/msd-results/;\n\
          'smoke' trains a tiny model (with one injected NaN batch) to\n\
          exercise the telemetry + recovery path in seconds;\n\
+         'plan-dump' compiles each task-general model into an inference\n\
+         plan and prints its ordered ops, fusions, and arena size;\n\
          'ckpt-smoke' trains a tiny deterministic forecaster for the\n\
          kill-and-resume bit-identity check"
     );
@@ -99,6 +101,7 @@ fn main() {
         "case-study" => run_case_study(scale),
         "smoke" => run_smoke(),
         "ckpt-smoke" => run_ckpt_smoke(save_params.as_deref()),
+        "plan-dump" => run_plan_dump(),
         "all" => {
             run_long_term(scale);
             run_short_term(scale);
@@ -304,5 +307,29 @@ fn run_case_study(scale: Scale) {
             "case-study,{},{:.5},{:.4},{:.4}",
             r.model, r.residual_energy, r.residual_acf_violation, r.explained_energy
         );
+    }
+}
+
+/// Compiles every task-general model into an inference plan for a small
+/// forecasting shape and dumps the plan: ordered kernel steps, fusion
+/// decisions, and the solved arena size. Models whose forwards are not yet
+/// plan-compilable report the typed compile error instead (they serve via
+/// the tape fallback).
+fn run_plan_dump() {
+    use msd_harness::ModelSpec;
+    use msd_nn::{Model, ParamStore, Task};
+    use msd_tensor::rng::Rng;
+
+    let (channels, input_len, horizon, d_model) = (2, 48, 12, 8);
+    let task = Task::Forecast { horizon };
+    for (i, spec) in ModelSpec::TASK_GENERAL.iter().enumerate() {
+        let mut store = ParamStore::new();
+        let mut rng = Rng::seed_from(0xD0 + i as u64);
+        let model = spec.build(&mut store, &mut rng, channels, input_len, task.clone(), d_model);
+        println!("== {} ([1, {channels}, {input_len}] -> horizon {horizon})", model.name());
+        match model.compile_plan(&store, &[1, channels, input_len]) {
+            Ok(plan) => print!("{}", plan.describe()),
+            Err(e) => println!("  not plan-compilable: {e}"),
+        }
     }
 }

@@ -74,6 +74,7 @@ fn main() {
             queue_cap,
             workers,
             events_path: None,
+            use_plans: true,
         },
         replicas,
         ..GatewayConfig::default()

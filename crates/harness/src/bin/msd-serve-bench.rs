@@ -106,6 +106,7 @@ fn main() {
             queue_cap: requests.max(256),
             workers,
             events_path: events.map(Into::into),
+            use_plans: true,
         },
     )
     .expect("start serve runtime");

@@ -221,6 +221,16 @@ impl Model for AnyModel {
     fn loss(&self, ctx: &Ctx, out: &msd_nn::ModelOutput, target: &Target) -> Var {
         self.as_model().loss(ctx, out, target)
     }
+    fn plan_prelude(&self, x: &Tensor) -> Vec<Tensor> {
+        self.as_model().plan_prelude(x)
+    }
+    fn compile_plan(
+        &self,
+        store: &ParamStore,
+        x_shape: &[usize],
+    ) -> Result<msd_autograd::CompiledPlan, msd_autograd::PlanError> {
+        self.as_model().compile_plan(store, x_shape)
+    }
 }
 
 #[cfg(test)]

@@ -10,6 +10,7 @@
 //! is gated on.
 
 use crate::{Ctx, ParamStore, Task};
+use msd_autograd::plan::{CompiledPlan, PlanArena, PlanError};
 use msd_autograd::{Graph, TapeArena, Var};
 use msd_tensor::rng::Rng;
 use msd_tensor::Tensor;
@@ -174,6 +175,88 @@ pub trait Model {
         scratch.arena = Some(g.recycle());
         out
     }
+
+    /// The input-derived tensors the model's eval forward feeds into its
+    /// tape as non-parameter, non-constant leaves, in the order the forward
+    /// creates them. Plan compilation byte-matches trace leaves against
+    /// these; plan execution binds them as the plan's variable inputs.
+    ///
+    /// The default covers models whose only variable leaf is (a reshape of)
+    /// the raw input. Models that derive extra input-dependent leaves
+    /// outside the tape (e.g. NLinear's last-value offset, DLinear's
+    /// moving-average decomposition) must override this to list every such
+    /// tensor; otherwise [`Model::compile_plan`] fails cleanly with
+    /// [`PlanError::PreludeMismatch`] and callers stay on the tape path.
+    fn plan_prelude(&self, x: &Tensor) -> Vec<Tensor> {
+        vec![x.clone()]
+    }
+
+    /// Compiles the eval forward for inputs of shape `x_shape` into a
+    /// [`CompiledPlan`].
+    ///
+    /// The forward is traced with two distinct random probe inputs; the two
+    /// tapes must agree structurally and their op payloads must be either
+    /// constant across probes or declared in [`Model::plan_prelude`]. The
+    /// compiled plan is then executed on both probes *plus a fresh third
+    /// probe* and byte-compared against [`Model::predict`] — a plan that
+    /// compiles is already proven bit-identical on three inputs before the
+    /// caller ever uses it. Any failure returns a typed [`PlanError`]; no
+    /// error path can yield a plan with wrong numerics.
+    fn compile_plan(
+        &self,
+        store: &ParamStore,
+        x_shape: &[usize],
+    ) -> Result<CompiledPlan, PlanError> {
+        let probe = |seed: u64| {
+            let mut rng = Rng::seed_from(seed);
+            Tensor::randn(x_shape, 1.0, &mut rng)
+        };
+        let (xa, xb) = (probe(0x51AB), probe(0x51AC));
+        let ga = Graph::eval();
+        let oa = eval_forward(self, &ga, store, &xa);
+        let gb = Graph::eval();
+        let ob = eval_forward(self, &gb, store, &xb);
+        let plan = CompiledPlan::from_traces(
+            &ga,
+            oa,
+            &gb,
+            ob,
+            &self.plan_prelude(&xa),
+            &self.plan_prelude(&xb),
+        )?;
+        // Probe-verify: the third probe guards against a leaf that was
+        // coincidentally byte-equal across the two trace probes being
+        // misclassified as constant.
+        let mut arena = PlanArena::new();
+        for (i, x) in [xa, xb, probe(0x51AD)].iter().enumerate() {
+            let want = self.predict(store, x);
+            let got = plan.execute(store, &self.plan_prelude(x), &mut arena);
+            if want.shape() != got.shape()
+                || want
+                    .data()
+                    .iter()
+                    .zip(got.data())
+                    .any(|(a, b)| a.to_bits() != b.to_bits())
+            {
+                return Err(PlanError::Verification(format!(
+                    "plan output differs from tape predict on probe {i}"
+                )));
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Runs a plan compiled by [`Model::compile_plan`] on `x`. Bit-identical
+    /// to [`Model::predict`] for the shape the plan was compiled for.
+    fn predict_plan(
+        &self,
+        plan: &CompiledPlan,
+        store: &ParamStore,
+        x: &Tensor,
+        arena: &mut PlanArena,
+    ) -> Tensor {
+        plan.execute(store, &self.plan_prelude(x), arena)
+    }
 }
 
 /// Boxed model for heterogeneous collections (harness registry, serving).
@@ -191,6 +274,16 @@ impl Model for DynModel {
     }
     fn loss(&self, ctx: &Ctx, out: &ModelOutput, target: &Target) -> Var {
         (**self).loss(ctx, out, target)
+    }
+    fn plan_prelude(&self, x: &Tensor) -> Vec<Tensor> {
+        (**self).plan_prelude(x)
+    }
+    fn compile_plan(
+        &self,
+        store: &ParamStore,
+        x_shape: &[usize],
+    ) -> Result<CompiledPlan, PlanError> {
+        (**self).compile_plan(store, x_shape)
     }
 }
 
@@ -329,6 +422,38 @@ mod tests {
             toy.loss(&ctx, &out, &Target::Labels(vec![0]))
         }));
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn compiled_plan_is_bit_identical_to_predict() {
+        let mut store = ParamStore::new();
+        let toy = Toy::new(&mut store);
+        let plan = toy.compile_plan(&store, &[3, 2, 3]).expect("toy must compile");
+        let mut arena = PlanArena::new();
+        for i in 0..4 {
+            let mut rng = Rng::seed_from(600 + i);
+            let x = Tensor::randn(&[3, 2, 3], 1.0, &mut rng);
+            let want = toy.predict(&store, &x);
+            let got = toy.predict_plan(&plan, &store, &x, &mut arena);
+            assert_eq!(want.shape(), got.shape());
+            assert_eq!(want.data(), got.data(), "plan != tape bits");
+        }
+    }
+
+    #[test]
+    fn compile_plan_survives_param_updates_without_recompile() {
+        let mut store = ParamStore::new();
+        let toy = Toy::new(&mut store);
+        let plan = toy.compile_plan(&store, &[1, 2, 3]).unwrap();
+        // Mutate a parameter in place (what an optimiser step does).
+        store.get_mut(0).data_mut()[0] += 1.5;
+        let x = sample(700);
+        let mut arena = PlanArena::new();
+        assert_eq!(
+            toy.predict(&store, &x).data(),
+            toy.predict_plan(&plan, &store, &x, &mut arena).data(),
+            "plan must read live parameter values"
+        );
     }
 
     #[test]

@@ -94,6 +94,14 @@ impl ParamStore {
     }
 }
 
+/// Compiled inference plans read parameters straight from the store, so a
+/// plan stays valid across optimiser steps without recompilation.
+impl msd_autograd::plan::ParamSource for ParamStore {
+    fn param_value(&self, id: ParamId) -> &Tensor {
+        self.get(id)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

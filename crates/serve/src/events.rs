@@ -138,6 +138,7 @@ mod tests {
             completed: 2,
             failed: 0,
             batches: 1,
+            plan_batches: 0,
             mean_batch: 2.0,
             p50_us: 5,
             p95_us: 9,

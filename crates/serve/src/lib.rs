@@ -46,6 +46,7 @@ mod stats;
 pub use events::ServeEvent;
 pub use stats::{percentile, ServeStats};
 
+use std::collections::HashMap;
 use std::panic::AssertUnwindSafe;
 use std::path::PathBuf;
 use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender, TrySendError};
@@ -54,9 +55,15 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use events::EventSink;
+use msd_autograd::{CompiledPlan, PlanArena};
 use msd_nn::{EvalScratch, Model, ParamStore};
 use msd_tensor::Tensor;
 use stats::StatsInner;
+
+/// Compiled plans shared by the worker pool, keyed by packed batch shape.
+/// `None` caches a failed compile so that shape permanently takes the tape
+/// path with no per-batch retry cost.
+type PlanCache = Mutex<HashMap<Vec<usize>, Option<Arc<CompiledPlan>>>>;
 
 /// Tuning knobs for [`Server::start`].
 #[derive(Clone, Debug)]
@@ -76,6 +83,12 @@ pub struct ServeConfig {
     pub workers: usize,
     /// Optional JSONL sink for [`ServeEvent`] telemetry.
     pub events_path: Option<PathBuf>,
+    /// Evaluate batches through compiled inference plans
+    /// ([`msd_nn::Model::compile_plan`]), falling back to tape eval for any
+    /// shape whose compile fails. On by default; `MSD_PLAN=off` (or `0`)
+    /// overrides this to `false` at [`Server::start`] without a rebuild.
+    /// Answers are bit-identical either way — plans only change latency.
+    pub use_plans: bool,
 }
 
 impl Default for ServeConfig {
@@ -86,8 +99,16 @@ impl Default for ServeConfig {
             queue_cap: 256,
             workers: 4,
             events_path: None,
+            use_plans: true,
         }
     }
+}
+
+/// Whether `MSD_PLAN` disables compiled plans for this process.
+fn plan_env_off() -> bool {
+    std::env::var("MSD_PLAN")
+        .map(|v| v.eq_ignore_ascii_case("off") || v == "0")
+        .unwrap_or(false)
 }
 
 /// Why the runtime could not (or will not) answer a request.
@@ -200,14 +221,20 @@ impl Server {
                 .spawn(move || batcher_loop(intake_rx, batch_tx, max_batch, max_wait, &shared))
                 .expect("spawn batcher thread")
         };
+        let use_plans = cfg.use_plans && !plan_env_off();
+        // Compiled plans are pool-global: compilation is expensive (traces
+        // plus probe verification at the full batch shape), so a shape must
+        // compile at most once per server, not once per worker.
+        let plan_cache: Arc<PlanCache> = Arc::new(Mutex::new(HashMap::new()));
         let workers = (0..workers)
             .map(|i| {
                 let engine = Arc::clone(&engine);
                 let rx = Arc::clone(&batch_rx);
                 let shared = Arc::clone(&shared);
+                let plan_cache = Arc::clone(&plan_cache);
                 std::thread::Builder::new()
                     .name(format!("msd-serve-worker-{i}"))
-                    .spawn(move || worker_loop(&engine, &rx, &shared))
+                    .spawn(move || worker_loop(&engine, &rx, &shared, use_plans, &plan_cache))
                     .expect("spawn worker thread")
             })
             .collect();
@@ -331,9 +358,30 @@ fn batcher_loop(
                 Err(_) => break, // intake closed and queue drained
             },
         };
-        let deadline = Instant::now() + max_wait;
+        // The coalescing window is anchored at the seed's *admission*, not
+        // at the moment the batcher picked it up. A seed that already sat in
+        // the queue — in particular a shape-change request parked in
+        // `pending` while the previous batch finished collecting — has spent
+        // its wait budget; re-anchoring at pop time silently extended its
+        // worst-case latency to nearly 2× `max_wait`.
+        let deadline = seed.admitted + max_wait;
         let mut batch = vec![seed];
-        while batch.len() < max_batch {
+        let mut closed = false;
+        // Already-queued same-shape requests are free companions: drain them
+        // without consulting the deadline, so an expired window (seed aged
+        // in the queue) still packs the burst instead of degrading to
+        // singleton batches.
+        while !closed && batch.len() < max_batch {
+            match rx.try_recv() {
+                Ok(r) if r.x.shape() == batch[0].x.shape() => batch.push(r),
+                Ok(r) => {
+                    pending = Some(r);
+                    closed = true;
+                }
+                Err(_) => break,
+            }
+        }
+        while !closed && batch.len() < max_batch {
             let now = Instant::now();
             if now >= deadline {
                 break;
@@ -379,13 +427,27 @@ fn batcher_loop(
 }
 
 /// Evaluates batches until the batch queue closes.
+///
+/// With `use_plans` set, workers evaluate through the pool-shared
+/// [`PlanCache`]: a packed batch shape compiles at most once per *server*
+/// (the first worker to see it compiles under the cache lock; peers block
+/// briefly, then reuse the `Arc`'d plan), and each worker keeps a private
+/// lock-free mirror so the steady-state hot path never touches the mutex.
+/// A failed compile caches the typed failure, so that shape permanently
+/// takes the tape path with no per-batch retry cost. Plan answers are
+/// bit-identical to the tape path by the compile-time probe verification
+/// in [`Model::compile_plan`], so the fallback is invisible to callers.
 fn worker_loop(
     engine: &(Box<dyn Model + Send + Sync>, ParamStore),
     rx: &Mutex<Receiver<Vec<Request>>>,
     shared: &Shared,
+    use_plans: bool,
+    plan_cache: &PlanCache,
 ) {
     let (model, store) = engine;
     let mut scratch = EvalScratch::new();
+    let mut plans: HashMap<Vec<usize>, Option<Arc<CompiledPlan>>> = HashMap::new();
+    let mut arena = PlanArena::new();
     loop {
         // Hold the lock only for the dequeue so workers drain in parallel.
         let batch = {
@@ -398,6 +460,34 @@ fn worker_loop(
         let xs: Vec<Tensor> = batch.iter().map(|r| r.x.clone()).collect();
         let t0 = Instant::now();
         let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            if use_plans && xs.iter().all(|x| x.ndim() >= 1 && x.shape()[0] == 1) {
+                // Pack exactly like `predict_batch` so shapes (and answers)
+                // are byte-for-byte the same on both paths.
+                let packed = Tensor::concat(&xs.iter().collect::<Vec<_>>(), 0);
+                let shape = packed.shape().to_vec();
+                let plan = match plans.get(&shape) {
+                    Some(p) => p.clone(),
+                    None => {
+                        let p = {
+                            let mut cache =
+                                plan_cache.lock().unwrap_or_else(|p| p.into_inner());
+                            cache
+                                .entry(shape.clone())
+                                .or_insert_with(|| {
+                                    model.compile_plan(store, &shape).ok().map(Arc::new)
+                                })
+                                .clone()
+                        };
+                        plans.insert(shape, p.clone());
+                        p
+                    }
+                };
+                if let Some(plan) = plan {
+                    shared.stats.note_plan_batch();
+                    let full = model.predict_plan(&plan, store, &packed, &mut arena);
+                    return (0..xs.len()).map(|i| full.narrow(0, i, 1)).collect();
+                }
+            }
             model.predict_batch_with(&mut scratch, store, &xs)
         }));
         let eval_us = t0.elapsed().as_micros() as u64;

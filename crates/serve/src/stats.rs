@@ -21,6 +21,7 @@ pub(crate) struct StatsInner {
     failed: AtomicU64,
     batches: AtomicU64,
     batched: AtomicU64,
+    plan_batches: AtomicU64,
     latencies_us: Mutex<Vec<u64>>,
 }
 
@@ -46,6 +47,10 @@ impl StatsInner {
             .push(latency_us);
     }
 
+    pub(crate) fn note_plan_batch(&self) {
+        self.plan_batches.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub(crate) fn note_failed(&self, n: usize) {
         self.failed.fetch_add(n as u64, Ordering::Relaxed);
     }
@@ -65,6 +70,7 @@ impl StatsInner {
             completed: self.completed.load(Ordering::Relaxed),
             failed: self.failed.load(Ordering::Relaxed),
             batches,
+            plan_batches: self.plan_batches.load(Ordering::Relaxed),
             mean_batch: if batches == 0 {
                 0.0
             } else {
@@ -112,6 +118,9 @@ pub struct ServeStats {
     pub failed: u64,
     /// Micro-batches dispatched to workers.
     pub batches: u64,
+    /// Micro-batches evaluated through a compiled inference plan (the rest
+    /// ran the tape fallback; zero when plans are disabled).
+    pub plan_batches: u64,
     /// Mean requests per dispatched batch.
     pub mean_batch: f64,
     /// Median end-to-end request latency, microseconds.
@@ -129,12 +138,14 @@ impl ServeStats {
         let _ = write!(
             s,
             "{{\"submitted\":{},\"rejected\":{},\"completed\":{},\"failed\":{},\
-             \"batches\":{},\"mean_batch\":{:.3},\"p50_us\":{},\"p95_us\":{},\"p99_us\":{}}}",
+             \"batches\":{},\"plan_batches\":{},\"mean_batch\":{:.3},\"p50_us\":{},\
+             \"p95_us\":{},\"p99_us\":{}}}",
             self.submitted,
             self.rejected,
             self.completed,
             self.failed,
             self.batches,
+            self.plan_batches,
             self.mean_batch,
             self.p50_us,
             self.p95_us,
@@ -208,6 +219,7 @@ mod tests {
         assert_eq!(s.completed, 3);
         assert_eq!(s.failed, 1);
         assert_eq!(s.batches, 1);
+        assert_eq!(s.plan_batches, 0);
         assert!((s.mean_batch - 3.0).abs() < 1e-12);
         assert_eq!(s.p50_us, 20);
         let json = s.to_json();

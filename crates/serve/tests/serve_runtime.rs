@@ -2,7 +2,8 @@
 //! bit-identity under every batch composition, typed backpressure, panic
 //! containment, drained shutdown, and a 1000-request mixed-shape smoke.
 
-use std::time::Duration;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 use msd_nn::{Ctx, Linear, Model, ModelOutput, ParamStore, Task};
 use msd_serve::loadgen::{run_open_loop, sequential_baseline, LoadSpec};
@@ -67,6 +68,33 @@ impl Model for Tripwire {
     fn forward(&self, ctx: &Ctx, x: &Tensor) -> ModelOutput {
         assert!(x.data()[0] != POISON, "tripwire: poisoned sample");
         self.0.forward(ctx, x)
+    }
+}
+
+/// A model that parks every forward call until the test opens the gate —
+/// used to hold the sole worker (and therefore the batch channel) busy while
+/// the batcher is forced to seed from an already-aged parked request.
+struct Gated {
+    inner: Affine,
+    gate: Arc<(Mutex<bool>, Condvar)>,
+}
+
+impl Model for Gated {
+    fn name(&self) -> &str {
+        "gated"
+    }
+    fn task(&self) -> &Task {
+        self.inner.task()
+    }
+    fn forward(&self, ctx: &Ctx, x: &Tensor) -> ModelOutput {
+        let (lock, cv) = &*self.gate;
+        let open = lock.lock().unwrap();
+        // 5 s cap: a scheduling accident must fail the latency assert in the
+        // test body, not hang the whole suite.
+        let _unused = cv
+            .wait_timeout_while(open, Duration::from_secs(5), |o| !*o)
+            .unwrap();
+        self.inner.forward(ctx, x)
     }
 }
 
@@ -170,6 +198,10 @@ fn worker_panic_fails_only_that_batch_and_serving_continues() {
             max_batch: 1, // isolate the poisoned sample in its own batch
             max_wait: Duration::ZERO,
             workers: 2,
+            // A compiled plan replays kernels without re-entering `forward`,
+            // so Tripwire's data-dependent panic would never fire; this test
+            // is specifically about tape-path panic containment.
+            use_plans: false,
             ..ServeConfig::default()
         },
     )
@@ -213,6 +245,7 @@ fn worker_panic_during_shutdown_keeps_counters_balanced() {
                 max_wait: Duration::ZERO,
                 queue_cap: 64,
                 workers: 2,
+                use_plans: false, // Tripwire panics live in `forward`, not the plan
                 ..ServeConfig::default()
             },
         )
@@ -251,6 +284,69 @@ fn worker_panic_during_shutdown_keeps_counters_balanced() {
             }
         }
     }
+}
+
+#[test]
+fn shape_change_seed_keeps_its_admission_deadline() {
+    // Regression: the batcher used to re-anchor the coalescing window at the
+    // moment it *popped* a seed rather than at the seed's admission. A
+    // shape-change request parked in `pending` while the batcher blocked on a
+    // full batch channel then waited up to ~2× max_wait end to end. Rebuild
+    // that stall with a gated model and assert the parked request's latency
+    // stays near 1× max_wait.
+    let max_wait = Duration::from_millis(600);
+    let gate = Arc::new((Mutex::new(false), Condvar::new()));
+    let mut store = ParamStore::new();
+    let model = Gated {
+        inner: Affine::new(&mut store, 2, 6),
+        gate: gate.clone(),
+    };
+    let server = Server::start(
+        model,
+        store,
+        ServeConfig {
+            max_batch: 2,
+            max_wait,
+            workers: 1,
+            queue_cap: 64,
+            use_plans: false, // keep `forward` (and the gate) on the hot path
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+
+    // Batch 1 fills and reaches the (gated) worker; batch 2 fills the 1-deep
+    // batch channel; G5 seeds batch 3, which the shape-change arrival B1
+    // closes — leaving the batcher blocked in `tx.send` with B1 parked.
+    let _g1 = server.submit(sample(2, 6, 1)).unwrap();
+    let _g2 = server.submit(sample(2, 6, 2)).unwrap();
+    std::thread::sleep(Duration::from_millis(30));
+    let _g3 = server.submit(sample(2, 6, 3)).unwrap();
+    let _g4 = server.submit(sample(2, 6, 4)).unwrap();
+    std::thread::sleep(Duration::from_millis(30));
+    let _g5 = server.submit(sample(2, 6, 5)).unwrap();
+    std::thread::sleep(Duration::from_millis(60));
+    let submitted_b = Instant::now();
+    let b1 = server.submit(sample(1, 12, 6)).unwrap(); // parks as `pending`
+
+    // Hold the pipeline stalled past B1's whole wait budget, then release.
+    std::thread::sleep(Duration::from_millis(700));
+    {
+        let (lock, cv) = &*gate;
+        *lock.lock().unwrap() = true;
+        cv.notify_all();
+    }
+    b1.wait().expect("parked request completes");
+    let latency = submitted_b.elapsed();
+    // Correct admission anchoring: B1's window expired while it was parked,
+    // so its batch closes as soon as the batcher unblocks (~700 ms). The old
+    // re-anchoring granted a fresh window at pop time (~1300 ms). The
+    // threshold splits the gap with slack for slow CI on both sides.
+    assert!(
+        latency < Duration::from_millis(1000),
+        "shape-change seed inherited a fresh coalescing window: {latency:?}"
+    );
+    server.shutdown();
 }
 
 #[test]
@@ -309,6 +405,7 @@ fn smoke_1k_mixed_shape_requests_zero_lost_zero_corrupted() {
             queue_cap: 2048,
             workers: 4,
             events_path: Some(events.clone()),
+            use_plans: true,
         },
     )
     .unwrap();

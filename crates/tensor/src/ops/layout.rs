@@ -8,6 +8,143 @@
 use crate::shape::{numel, strides_for};
 use crate::Tensor;
 
+/// Writes the permutation of `src` (shape `in_shape`, axes reordered by
+/// `perm`) into `out`, which must hold exactly `numel(in_shape)` elements.
+///
+/// This is the single implementation behind [`Tensor::permute`] and the
+/// compiled-plan executor, so both paths produce identical bytes.
+///
+/// # Panics
+/// Panics if `perm` is not a permutation of `0..ndim` or `out` has the wrong
+/// length.
+pub fn permute_into(in_shape: &[usize], src: &[f32], perm: &[usize], out: &mut [f32]) {
+    let nd = in_shape.len();
+    assert_eq!(perm.len(), nd, "permute rank mismatch");
+    let mut seen = vec![false; nd];
+    for &p in perm {
+        assert!(p < nd && !seen[p], "invalid permutation {:?}", perm);
+        seen[p] = true;
+    }
+    assert_eq!(out.len(), numel(in_shape), "permute_into output length");
+    if nd == 0 {
+        out.copy_from_slice(src);
+        return;
+    }
+    let in_strides = strides_for(in_shape);
+    let out_shape: Vec<usize> = perm.iter().map(|&p| in_shape[p]).collect();
+    // Stride to walk the *input* buffer in output order.
+    let walk: Vec<usize> = perm.iter().map(|&p| in_strides[p]).collect();
+    // Odometer walk over output coordinates, tracking the input offset
+    // incrementally so each element costs O(1) amortised.
+    let mut coords = vec![0usize; nd];
+    let mut offset = 0usize;
+    let mut idx = 0usize;
+    loop {
+        out[idx] = src[offset];
+        idx += 1;
+        // Increment the innermost coordinate, carrying as needed.
+        let mut axis = nd;
+        loop {
+            if axis == 0 {
+                return;
+            }
+            axis -= 1;
+            coords[axis] += 1;
+            offset += walk[axis];
+            if coords[axis] < out_shape[axis] {
+                break;
+            }
+            offset -= walk[axis] * out_shape[axis];
+            coords[axis] = 0;
+        }
+    }
+}
+
+/// Zero-pads `src` (shape `in_shape`) along `axis` into `out`, which must be
+/// sized for the padded shape. Shared by [`Tensor::pad_axis`] and the plan
+/// executor.
+pub fn pad_axis_into(
+    in_shape: &[usize],
+    src: &[f32],
+    axis: usize,
+    before: usize,
+    after: usize,
+    out: &mut [f32],
+) {
+    assert!(axis < in_shape.len(), "pad axis out of range");
+    let inner: usize = in_shape[axis + 1..].iter().product();
+    let outer: usize = in_shape[..axis].iter().product();
+    let in_block = in_shape[axis] * inner;
+    let out_block = (in_shape[axis] + before + after) * inner;
+    assert_eq!(out.len(), outer * out_block, "pad_axis_into output length");
+    out.fill(0.0);
+    for o in 0..outer {
+        let s = &src[o * in_block..(o + 1) * in_block];
+        let dst = &mut out[o * out_block + before * inner..o * out_block + before * inner + in_block];
+        dst.copy_from_slice(s);
+    }
+}
+
+/// Copies the `len`-wide slice starting at `start` along `axis` of `src`
+/// (shape `in_shape`) into `out`. Shared by [`Tensor::narrow`] and the plan
+/// executor.
+pub fn narrow_into(
+    in_shape: &[usize],
+    src: &[f32],
+    axis: usize,
+    start: usize,
+    len: usize,
+    out: &mut [f32],
+) {
+    assert!(axis < in_shape.len(), "narrow axis out of range");
+    assert!(
+        start + len <= in_shape[axis],
+        "narrow range {}..{} exceeds axis {} of extent {}",
+        start,
+        start + len,
+        axis,
+        in_shape[axis]
+    );
+    let inner: usize = in_shape[axis + 1..].iter().product();
+    let outer: usize = in_shape[..axis].iter().product();
+    let in_block = in_shape[axis] * inner;
+    let out_block = len * inner;
+    assert_eq!(out.len(), outer * out_block, "narrow_into output length");
+    for o in 0..outer {
+        let base = o * in_block + start * inner;
+        out[o * out_block..(o + 1) * out_block].copy_from_slice(&src[base..base + out_block]);
+    }
+}
+
+/// Concatenates `(shape, data)` parts along `axis` into `out`. All non-axis
+/// extents must match. Shared by [`Tensor::concat`] and the plan executor.
+pub fn concat_into(parts: &[(&[usize], &[f32])], axis: usize, out: &mut [f32]) {
+    assert!(!parts.is_empty(), "concat of zero tensors");
+    let first = parts[0].0;
+    assert!(axis < first.len(), "concat axis out of range");
+    let mut total = 0usize;
+    for (s, _) in parts {
+        assert_eq!(s.len(), first.len(), "concat rank mismatch");
+        for (i, (&a, &b)) in s.iter().zip(first).enumerate() {
+            if i != axis {
+                assert_eq!(a, b, "concat non-axis extent mismatch on axis {i}");
+            }
+        }
+        total += s[axis];
+    }
+    let outer: usize = first[..axis].iter().product();
+    let inner: usize = first[axis + 1..].iter().product();
+    assert_eq!(out.len(), outer * total * inner, "concat_into output length");
+    let mut idx = 0usize;
+    for o in 0..outer {
+        for (s, d) in parts {
+            let block = s[axis] * inner;
+            out[idx..idx + block].copy_from_slice(&d[o * block..(o + 1) * block]);
+            idx += block;
+        }
+    }
+}
+
 impl Tensor {
     /// Reinterprets the buffer under a new shape with the same element count.
     ///
@@ -30,45 +167,15 @@ impl Tensor {
     /// # Panics
     /// Panics if `perm` is not a permutation of `0..ndim`.
     pub fn permute(&self, perm: &[usize]) -> Tensor {
-        let nd = self.ndim();
-        assert_eq!(perm.len(), nd, "permute rank mismatch");
-        let mut seen = vec![false; nd];
-        for &p in perm {
-            assert!(p < nd && !seen[p], "invalid permutation {:?}", perm);
-            seen[p] = true;
-        }
-        let in_shape = self.shape();
-        let in_strides = strides_for(in_shape);
-        let out_shape: Vec<usize> = perm.iter().map(|&p| in_shape[p]).collect();
-        // Stride to walk the *input* buffer in output order.
-        let walk: Vec<usize> = perm.iter().map(|&p| in_strides[p]).collect();
-        let mut out = Vec::with_capacity(self.len());
-        let src = self.data();
-        if nd == 0 {
+        if self.ndim() == 0 {
+            assert!(perm.is_empty(), "permute rank mismatch");
             return self.clone();
         }
-        // Odometer walk over output coordinates, tracking the input offset
-        // incrementally so each element costs O(1) amortised.
-        let mut coords = vec![0usize; nd];
-        let mut offset = 0usize;
-        loop {
-            out.push(src[offset]);
-            // Increment the innermost coordinate, carrying as needed.
-            let mut axis = nd;
-            loop {
-                if axis == 0 {
-                    return Tensor::from_vec(&out_shape, out);
-                }
-                axis -= 1;
-                coords[axis] += 1;
-                offset += walk[axis];
-                if coords[axis] < out_shape[axis] {
-                    break;
-                }
-                offset -= walk[axis] * out_shape[axis];
-                coords[axis] = 0;
-            }
-        }
+        let in_shape = self.shape();
+        let out_shape: Vec<usize> = perm.iter().map(|&p| in_shape[p]).collect();
+        let mut out = vec![0.0f32; self.len()];
+        permute_into(in_shape, self.data(), perm, &mut out);
+        Tensor::from_vec(&out_shape, out)
     }
 
     /// Zero-pads axis `axis` with `before` leading and `after` trailing
@@ -82,16 +189,8 @@ impl Tensor {
         let in_shape = self.shape();
         let mut out_shape = in_shape.to_vec();
         out_shape[axis] += before + after;
-        let inner: usize = in_shape[axis + 1..].iter().product();
-        let outer: usize = in_shape[..axis].iter().product();
-        let in_block = in_shape[axis] * inner;
-        let out_block = out_shape[axis] * inner;
-        let mut out = vec![0.0f32; outer * out_block];
-        for o in 0..outer {
-            let src = &self.data()[o * in_block..(o + 1) * in_block];
-            let dst = &mut out[o * out_block + before * inner..o * out_block + before * inner + in_block];
-            dst.copy_from_slice(src);
-        }
+        let mut out = vec![0.0f32; numel(&out_shape)];
+        pad_axis_into(in_shape, self.data(), axis, before, after, &mut out);
         Tensor::from_vec(&out_shape, out)
     }
 
@@ -102,25 +201,10 @@ impl Tensor {
     pub fn narrow(&self, axis: usize, start: usize, len: usize) -> Tensor {
         assert!(axis < self.ndim(), "narrow axis out of range");
         let in_shape = self.shape();
-        assert!(
-            start + len <= in_shape[axis],
-            "narrow range {}..{} exceeds axis {} of extent {}",
-            start,
-            start + len,
-            axis,
-            in_shape[axis]
-        );
-        let inner: usize = in_shape[axis + 1..].iter().product();
-        let outer: usize = in_shape[..axis].iter().product();
-        let in_block = in_shape[axis] * inner;
-        let out_block = len * inner;
         let mut out_shape = in_shape.to_vec();
         out_shape[axis] = len;
-        let mut out = Vec::with_capacity(outer * out_block);
-        for o in 0..outer {
-            let base = o * in_block + start * inner;
-            out.extend_from_slice(&self.data()[base..base + out_block]);
-        }
+        let mut out = vec![0.0f32; numel(&out_shape)];
+        narrow_into(in_shape, self.data(), axis, start, len, &mut out);
         Tensor::from_vec(&out_shape, out)
     }
 
@@ -150,29 +234,13 @@ impl Tensor {
         assert!(!parts.is_empty(), "concat of zero tensors");
         let first = parts[0].shape();
         assert!(axis < first.len(), "concat axis out of range");
-        let mut total = 0usize;
-        for p in parts {
-            let s = p.shape();
-            assert_eq!(s.len(), first.len(), "concat rank mismatch");
-            for (i, (&a, &b)) in s.iter().zip(first).enumerate() {
-                if i != axis {
-                    assert_eq!(a, b, "concat non-axis extent mismatch on axis {i}");
-                }
-            }
-            total += s[axis];
-        }
+        let total: usize = parts.iter().map(|p| p.shape()[axis]).sum();
         let mut out_shape = first.to_vec();
         out_shape[axis] = total;
-        let outer: usize = first[..axis].iter().product();
-        let inner: usize = first[axis + 1..].iter().product();
-        let mut out = Vec::with_capacity(numel(&out_shape));
-        for o in 0..outer {
-            for p in parts {
-                let ext = p.shape()[axis];
-                let block = ext * inner;
-                out.extend_from_slice(&p.data()[o * block..(o + 1) * block]);
-            }
-        }
+        let mut out = vec![0.0f32; numel(&out_shape)];
+        let views: Vec<(&[usize], &[f32])> =
+            parts.iter().map(|p| (p.shape(), p.data())).collect();
+        concat_into(&views, axis, &mut out);
         Tensor::from_vec(&out_shape, out)
     }
 

@@ -28,6 +28,42 @@ enum Layout {
 /// `[..., m, k] · 2-D` broadcast, and equal-rank batched inputs.
 fn product(a: &Tensor, b: &Tensor, layout: Layout, name: &str) -> Tensor {
     let (a_shape, b_shape) = (a.shape(), b.shape());
+    let out_shape = product_out_shape(a_shape, b_shape, layout, name);
+    let mut out = vec![0.0f32; numel(&out_shape)];
+    product_into(a_shape, a.data(), b_shape, b.data(), layout, name, &mut out);
+    Tensor::from_vec(&out_shape, out)
+}
+
+/// The output shape `product_into` will produce, after validating operand
+/// shapes for `layout`.
+fn product_out_shape(a_shape: &[usize], b_shape: &[usize], layout: Layout, name: &str) -> Vec<usize> {
+    assert!(a_shape.len() >= 2, "{name} lhs must have rank >= 2, got {a_shape:?}");
+    let (al2, al1) = (a_shape[a_shape.len() - 2], a_shape[a_shape.len() - 1]);
+    let (m, _k) = match layout {
+        Layout::Tn => (al1, al2),
+        _ => (al2, al1),
+    };
+    let (bl2, bl1) = (b_shape[b_shape.len() - 2], b_shape[b_shape.len() - 1]);
+    let (_k2, n) = match layout {
+        Layout::Nt => (bl1, bl2),
+        _ => (bl2, bl1),
+    };
+    let mut out_shape = a_shape[..a_shape.len() - 2].to_vec();
+    out_shape.extend_from_slice(&[m, n]);
+    out_shape
+}
+
+/// Slice-level product driver shared by the `Tensor` methods and the
+/// compiled-plan executor; writes the product into `out` (fully overwritten).
+fn product_into(
+    a_shape: &[usize],
+    a_data: &[f32],
+    b_shape: &[usize],
+    b_data: &[f32],
+    layout: Layout,
+    name: &str,
+    out: &mut [f32],
+) {
     assert!(a_shape.len() >= 2, "{name} lhs must have rank >= 2, got {a_shape:?}");
     let (al2, al1) = (a_shape[a_shape.len() - 2], a_shape[a_shape.len() - 1]);
     // Logical (m, k) of the left operand.
@@ -58,9 +94,7 @@ fn product(a: &Tensor, b: &Tensor, layout: Layout, name: &str) -> Tensor {
     assert_eq!(k, k2, "{name} inner dim: {a_shape:?} vs {b_shape:?}");
 
     let batches = numel(&a_shape[..a_shape.len() - 2]);
-    let mut out_shape = a_shape[..a_shape.len() - 2].to_vec();
-    out_shape.extend_from_slice(&[m, n]);
-    let mut out = vec![0.0f32; batches * m * n];
+    assert_eq!(out.len(), batches * m * n, "{name} output length");
 
     let (a_rs, a_cs) = match layout {
         Layout::Tn => (1, m),
@@ -75,17 +109,51 @@ fn product(a: &Tensor, b: &Tensor, layout: Layout, name: &str) -> Tensor {
         m,
         k,
         n,
-        a.data(),
+        a_data,
         m * k,
         a_rs,
         a_cs,
-        b.data(),
+        b_data,
         if rhs_2d { 0 } else { k * n },
         b_rs,
         b_cs,
-        &mut out,
+        out,
     );
-    Tensor::from_vec(&out_shape, out)
+}
+
+/// Writes `A · B` (the [`Tensor::matmul`] layout: 2-D, broadcast-2-D rhs, or
+/// equal-rank batched) into `out`, fully overwriting it. Shared by the
+/// `Tensor` method and the compiled-plan executor so both produce identical
+/// bytes.
+pub fn matmul_nn_into(
+    a_shape: &[usize],
+    a_data: &[f32],
+    b_shape: &[usize],
+    b_data: &[f32],
+    out: &mut [f32],
+) {
+    product_into(a_shape, a_data, b_shape, b_data, Layout::Nn, "matmul", out);
+}
+
+/// Writes the fused affine map `x · W (+ b)` over the last axis into `out`
+/// (fully overwritten). `x` is `rows` rows of `in_dim`; `weight` is
+/// `[in_dim, out_dim]` row-major; `bias`, if present, is `[out_dim]`. Shared
+/// by [`Tensor::linear`] and the compiled-plan executor.
+pub fn linear_into(
+    x: &[f32],
+    rows: usize,
+    in_dim: usize,
+    weight: &[f32],
+    out_dim: usize,
+    bias: Option<&[f32]>,
+    out: &mut [f32],
+) {
+    assert_eq!(out.len(), rows * out_dim, "linear output length");
+    crate::ops::gemm::sgemm_strided(rows, in_dim, out_dim, x, in_dim, 1, weight, out_dim, 1, out);
+    if let Some(b) = bias {
+        assert_eq!(b.len(), out_dim, "linear bias shape");
+        crate::ops::kernels::ew::add_bias(out, b);
+    }
 }
 
 impl Tensor {
@@ -143,22 +211,15 @@ impl Tensor {
         let out_dim = weight.shape()[1];
         let rows = self.len() / in_dim;
         let mut out = vec![0.0f32; rows * out_dim];
-        crate::ops::gemm::sgemm_strided(
+        linear_into(
+            self.data(),
             rows,
             in_dim,
-            out_dim,
-            self.data(),
-            in_dim,
-            1,
             weight.data(),
             out_dim,
-            1,
+            bias.map(Tensor::data),
             &mut out,
         );
-        if let Some(b) = bias {
-            assert_eq!(b.shape(), &[out_dim], "linear bias shape");
-            crate::ops::kernels::ew::add_bias(&mut out, b.data());
-        }
         let mut shape = self.shape().to_vec();
         *shape.last_mut().unwrap() = out_dim;
         Tensor::from_vec(&shape, out)

@@ -12,3 +12,6 @@ mod matmul;
 mod reduce;
 
 pub use elementwise::{fast_tanh, gelu_grad_scalar, gelu_scalar};
+pub use layout::{concat_into, narrow_into, pad_axis_into, permute_into};
+pub use matmul::{linear_into, matmul_nn_into};
+pub use reduce::sum_axis_into;

@@ -7,6 +7,48 @@
 use crate::ops::kernels::{self, reduce as kred};
 use crate::Tensor;
 
+/// Sums `src` (shape `shape`) along `axis` into `out`, which must be sized
+/// for the reduced shape. `out` is fully overwritten (zeroed first).
+///
+/// This is the single implementation behind [`Tensor::sum_axis`] and the
+/// compiled-plan executor; the last-axis path uses the spec'd sequential
+/// per-row reduction so results are bit-identical for every SIMD tier and
+/// thread count.
+pub fn sum_axis_into(shape: &[usize], src: &[f32], axis: usize, out: &mut [f32]) {
+    assert!(axis < shape.len(), "sum axis out of range");
+    let inner: usize = shape[axis + 1..].iter().product();
+    let outer: usize = shape[..axis].iter().product();
+    let ext = shape[axis];
+    assert_eq!(out.len(), outer * inner, "sum_axis_into output length");
+    out.fill(0.0);
+    if inner == 1 {
+        // Last-axis reduction: one spec'd sequential sum per row,
+        // parallel over fixed row blocks (who computes a row never
+        // changes what it computes).
+        let t = kernels::tier();
+        let out_ptr = kernels::SendPtr(out.as_mut_ptr());
+        kernels::par_rows(outer, ext, move |_b, r0, n| {
+            let out_ptr = &out_ptr;
+            for r in r0..r0 + n {
+                // SAFETY: each row index is written by exactly one block.
+                unsafe {
+                    *out_ptr.0.add(r) = kred::sum_seq(t, &src[r * ext..(r + 1) * ext]);
+                }
+            }
+        });
+    } else {
+        for o in 0..outer {
+            for a in 0..ext {
+                let base = (o * ext + a) * inner;
+                let dst = &mut out[o * inner..(o + 1) * inner];
+                for (d, &s) in dst.iter_mut().zip(&src[base..base + inner]) {
+                    *d += s;
+                }
+            }
+        }
+    }
+}
+
 impl Tensor {
     /// Sum of all elements (spec'd blocked reduction; see the kernel docs).
     pub fn sum_all(&self) -> f32 {
@@ -38,37 +80,10 @@ impl Tensor {
         let shape = self.shape();
         let inner: usize = shape[axis + 1..].iter().product();
         let outer: usize = shape[..axis].iter().product();
-        let ext = shape[axis];
         let mut out_shape = shape.to_vec();
         out_shape.remove(axis);
         let mut out = vec![0.0f32; outer * inner];
-        if inner == 1 {
-            // Last-axis reduction: one spec'd sequential sum per row,
-            // parallel over fixed row blocks (who computes a row never
-            // changes what it computes).
-            let t = kernels::tier();
-            let data = self.data();
-            let out_ptr = kernels::SendPtr(out.as_mut_ptr());
-            kernels::par_rows(outer, ext, move |_b, r0, n| {
-                let out_ptr = &out_ptr;
-                for r in r0..r0 + n {
-                    // SAFETY: each row index is written by exactly one block.
-                    unsafe {
-                        *out_ptr.0.add(r) = kred::sum_seq(t, &data[r * ext..(r + 1) * ext]);
-                    }
-                }
-            });
-        } else {
-            for o in 0..outer {
-                for a in 0..ext {
-                    let base = (o * ext + a) * inner;
-                    let dst = &mut out[o * inner..(o + 1) * inner];
-                    for (d, &s) in dst.iter_mut().zip(&self.data()[base..base + inner]) {
-                        *d += s;
-                    }
-                }
-            }
-        }
+        sum_axis_into(shape, self.data(), axis, &mut out);
         Tensor::from_vec(&out_shape, out)
     }
 

@@ -82,6 +82,16 @@ echo "kill-and-resume smoke OK: resumed run bit-identical"
 cargo test -p msd-serve -q --offline
 cargo test -p msd-harness --test predict_batch_bitident -q --offline
 
+# Compiled-plan gate: every zoo model's AOT plan must stay bit-identical to
+# per-sample predict across batch compositions, MSD_NUM_THREADS settings,
+# and kernel dispatch tiers — serving runs plans by default, so this is the
+# contract that makes that default safe. Also re-run the plan suite with
+# kernels pinned to the scalar tier: plan execution re-reads
+# MSD_KERNEL_FORCE per dispatch exactly like the tape, and a regression
+# there would only show up under the pin.
+cargo test -p msd-harness --test plan_bitident -q --offline
+MSD_KERNEL_FORCE=scalar cargo test -p msd-harness --test plan_bitident -q --offline
+
 # Serving benchmark: open-loop load through msd-serve, every response
 # byte-compared against sequential predict, report appended as JSONL (CI
 # uploads it as an artifact). The speedup floor here is modest because CI
@@ -123,6 +133,24 @@ grep -q '"kind":"epoch"' target/BENCH_kernels.json || {
   echo "kernel report missing epoch timing" >&2; exit 1;
 }
 echo "kernel bench OK: report in target/BENCH_kernels.json"
+
+# Plan latency bench: plan-vs-tape single-sample latency per zoo model,
+# byte-compared before timing. The bench enforces a 1.1x geometric-mean
+# floor (and plans-never-slower per model) — the margin serving's
+# plans-by-default decision is predicated on. Load-sensitive like the other
+# throughput floors, so one failure earns a single retry. Appends JSONL
+# rows to target/BENCH_kernels.json (CI artifact).
+plan_bench() {
+  cargo bench --offline -p msd-bench --bench extra_plan_latency
+}
+plan_bench || {
+  echo "plan bench below speedup floor; retrying once on a quieter machine" >&2
+  plan_bench
+}
+grep -q '"kind":"plan_latency"' target/BENCH_kernels.json || {
+  echo "kernel report missing plan latency rows" >&2; exit 1;
+}
+echo "plan bench OK: rows in target/BENCH_kernels.json"
 
 # Gateway smoke: a real msd-gateway process on an ephemeral port serving the
 # two-model demo fleet, then 500 mixed requests over 4 TCP connections at a
