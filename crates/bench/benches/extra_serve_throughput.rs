@@ -75,6 +75,7 @@ fn main() {
                 workers,
                 events_path: None,
                 use_plans: true,
+                ..ServeConfig::default()
             },
         )
         .expect("start serve runtime");

@@ -10,8 +10,9 @@
 //! gateway shutdown instead of pinning its thread forever.
 
 use std::io::{self, Read, Write};
-use std::net::TcpStream;
+use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
 
 /// Largest accepted request head (request line + headers), bytes.
 pub const MAX_HEAD_BYTES: usize = 16 * 1024;
@@ -221,6 +222,12 @@ impl Response {
             body: body.into_bytes(),
         }
     }
+
+    /// Adds a `Retry-After: <secs>` header (for 429/503 shed responses).
+    pub fn with_retry_after(mut self, secs: u64) -> Self {
+        self.headers.push(("Retry-After".into(), secs.to_string()));
+        self
+    }
 }
 
 /// Canonical reason phrase for the status codes the gateway emits.
@@ -234,16 +241,16 @@ pub fn reason(status: u16) -> &'static str {
         429 => "Too Many Requests",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
+        504 => "Gateway Timeout",
         _ => "Unknown",
     }
 }
 
-/// Serialises and writes `resp`, flushing before returning.
-pub fn write_response(
-    stream: &mut TcpStream,
-    resp: &Response,
-    keep_alive: bool,
-) -> io::Result<()> {
+/// Serialises `resp`'s status line and headers (through the terminating
+/// blank line). Factored out of [`write_response`] so the chaos paths can
+/// write a deliberately truncated or throttled head from the same bytes a
+/// healthy response would use.
+pub fn response_head(resp: &Response, keep_alive: bool) -> String {
     let mut head = format!("HTTP/1.1 {} {}\r\n", resp.status, reason(resp.status));
     head.push_str(&format!("Content-Length: {}\r\n", resp.body.len()));
     head.push_str(if keep_alive {
@@ -255,9 +262,67 @@ pub fn write_response(
         head.push_str(&format!("{name}: {value}\r\n"));
     }
     head.push_str("\r\n");
-    stream.write_all(head.as_bytes())?;
+    head
+}
+
+/// Serialises and writes `resp`, flushing before returning.
+pub fn write_response(
+    stream: &mut TcpStream,
+    resp: &Response,
+    keep_alive: bool,
+) -> io::Result<()> {
+    stream.write_all(response_head(resp, keep_alive).as_bytes())?;
     stream.write_all(&resp.body)?;
     stream.flush()
+}
+
+/// [`write_response`], but slow-loris style: the bytes dribble out in eight
+/// slices with `stall / 8` pauses between them (total added latency ≈
+/// `stall`). The payload is byte-identical to the healthy write — this
+/// fault stresses client read timeouts, not correctness.
+pub fn write_response_throttled(
+    stream: &mut TcpStream,
+    resp: &Response,
+    keep_alive: bool,
+    stall: Duration,
+) -> io::Result<()> {
+    let mut bytes = response_head(resp, keep_alive).into_bytes();
+    bytes.extend_from_slice(&resp.body);
+    let slices = 8usize;
+    let chunk = bytes.len().div_ceil(slices).max(1);
+    for (i, piece) in bytes.chunks(chunk).enumerate() {
+        if i > 0 {
+            std::thread::sleep(stall / slices as u32);
+        }
+        stream.write_all(piece)?;
+        stream.flush()?;
+    }
+    Ok(())
+}
+
+/// Client-side socket timeouts. Every limit is always on: the old client
+/// blocked forever against a listener that accepted and then went silent,
+/// which turned one wedged gateway into a wedged load generator.
+#[derive(Clone, Copy, Debug)]
+pub struct ClientConfig {
+    /// TCP connect limit.
+    pub connect_timeout: Duration,
+    /// Limit on each *stall* while reading a response (not the whole
+    /// response): any single quiet period longer than this errors
+    /// `TimedOut`. A slow-but-moving response stays alive.
+    pub read_timeout: Duration,
+    /// Socket write limit (full send buffer + dead peer).
+    pub write_timeout: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            connect_timeout: Duration::from_secs(10),
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(30),
+        }
+    }
 }
 
 /// A keep-alive HTTP client over one TCP connection — enough for the load
@@ -266,7 +331,6 @@ pub fn write_response(
 pub struct Client {
     stream: TcpStream,
     carry: Vec<u8>,
-    stop: AtomicBool, // never raised; reuses the server-side read loop
 }
 
 /// A response as seen by [`Client`].
@@ -291,15 +355,65 @@ impl ClientResponse {
 }
 
 impl Client {
-    /// Connects to `addr` (e.g. `"127.0.0.1:8080"`).
+    /// Connects to `addr` (e.g. `"127.0.0.1:8080"`) with default timeouts.
     pub fn connect(addr: &str) -> io::Result<Client> {
-        let stream = TcpStream::connect(addr)?;
+        Client::connect_with(addr, ClientConfig::default())
+    }
+
+    /// Connects to `addr` under explicit timeouts. Tries each resolved
+    /// address in turn with `connect_timeout`; the returned client's socket
+    /// carries the read/write timeouts for its whole lifetime.
+    pub fn connect_with(addr: &str, cfg: ClientConfig) -> io::Result<Client> {
+        let addrs: Vec<_> = addr.to_socket_addrs()?.collect();
+        let mut last = None;
+        let mut stream = None;
+        for a in addrs {
+            match TcpStream::connect_timeout(&a, cfg.connect_timeout) {
+                Ok(s) => {
+                    stream = Some(s);
+                    break;
+                }
+                Err(e) => last = Some(e),
+            }
+        }
+        let stream = stream.ok_or_else(|| {
+            last.unwrap_or_else(|| {
+                io::Error::new(io::ErrorKind::AddrNotAvailable, format!("no address for {addr}"))
+            })
+        })?;
         stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(cfg.read_timeout))?;
+        stream.set_write_timeout(Some(cfg.write_timeout))?;
         Ok(Client {
             stream,
             carry: Vec::new(),
-            stop: AtomicBool::new(false),
         })
+    }
+
+    /// Pulls more response bytes into the carry. Unlike the server-side
+    /// [`fill`] (which polls through timeouts watching a stop flag), a
+    /// client read that hits its socket timeout *is* the failure: the
+    /// silent-listener case must surface as `TimedOut`, not a hang.
+    fn fill_client(&mut self) -> io::Result<usize> {
+        let mut tmp = [0u8; 4096];
+        loop {
+            match self.stream.read(&mut tmp) {
+                Ok(n) => {
+                    self.carry.extend_from_slice(&tmp[..n]);
+                    return Ok(n);
+                }
+                Err(e)
+                    if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) =>
+                {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "timed out waiting for response bytes",
+                    ));
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     /// Sends one request and reads the full response.
@@ -330,7 +444,7 @@ impl Client {
             if self.carry.len() >= MAX_HEAD_BYTES {
                 return Err(invalid("response head too large"));
             }
-            if fill(&mut self.stream, &mut self.carry, &self.stop)? == 0 {
+            if self.fill_client()? == 0 {
                 return Err(io::Error::new(
                     io::ErrorKind::UnexpectedEof,
                     "connection closed mid-response",
@@ -360,7 +474,7 @@ impl Client {
         }
         let content_length = parse_content_length(&headers)?;
         while self.carry.len() < content_length {
-            if fill(&mut self.stream, &mut self.carry, &self.stop)? == 0 {
+            if self.fill_client()? == 0 {
                 return Err(io::Error::new(
                     io::ErrorKind::UnexpectedEof,
                     "connection closed mid-body",
@@ -595,6 +709,68 @@ mod tests {
                 assert_eq!(result.unwrap_err().kind(), io::ErrorKind::InvalidData);
             }
         }
+    }
+
+    #[test]
+    fn silent_listener_times_out_instead_of_hanging_the_client() {
+        // Regression: the client reused the server-side fill loop with a
+        // stop flag nobody ever raised, so a listener that accepted and
+        // then never wrote a byte hung the client forever.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let _keep = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            // Hold the socket open, silently, past the client's timeout.
+            std::thread::sleep(std::time::Duration::from_millis(500));
+            drop(stream);
+        });
+        let cfg = ClientConfig {
+            read_timeout: std::time::Duration::from_millis(100),
+            ..ClientConfig::default()
+        };
+        let started = std::time::Instant::now();
+        let mut client = Client::connect_with(&addr.to_string(), cfg).unwrap();
+        let err = client.request("GET", "/healthz", &[], b"").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+        assert!(
+            started.elapsed() < std::time::Duration::from_secs(2),
+            "client took {:?} to notice the silent listener",
+            started.elapsed()
+        );
+    }
+
+    #[test]
+    fn throttled_write_is_byte_identical_to_the_plain_write() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            stream
+                .set_read_timeout(Some(std::time::Duration::from_millis(20)))
+                .unwrap();
+            let stop = AtomicBool::new(false);
+            let mut carry = Vec::new();
+            // Consume the request so closing the socket later cannot RST
+            // the response out of the client's receive buffer.
+            read_request(&mut stream, &mut carry, 1024, &stop)
+                .unwrap()
+                .unwrap();
+            let mut resp = Response::new(200, b"slow but intact".to_vec());
+            resp.headers.push(("X-Msd-Replica".into(), "1".into()));
+            write_response_throttled(
+                &mut stream,
+                &resp,
+                false,
+                std::time::Duration::from_millis(40),
+            )
+            .unwrap();
+        });
+        let mut client = Client::connect(&addr.to_string()).unwrap();
+        let resp = client.request("GET", "/x", &[], b"").unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, b"slow but intact");
+        assert_eq!(resp.header("x-msd-replica"), Some("1"));
+        server.join().unwrap();
     }
 
     #[test]

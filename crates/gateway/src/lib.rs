@@ -34,25 +34,34 @@
 //! | `POST /v1/models/{m}/swap` | `msd_nn::store` blob | `200` `{"model":...,"version":n}` |
 //!
 //! Predict errors map to `400` (bad frame), `404` (unknown model), `429`
-//! (overloaded), `500` (worker panic), `503` (shutting down).
+//! (overloaded or brownout, with `Retry-After`), `500` (worker panic),
+//! `503` (shutting down), `504` (deadline exceeded). Requests may cap
+//! their wait with an `X-Msd-Deadline-Ms` header; DESIGN.md §14 documents
+//! the deadline contract, per-replica circuit breakers, brownout, and the
+//! deterministic chaos harness (`MSD_CHAOS`).
 
+pub mod health;
 pub mod http;
 pub mod loadgen;
 pub mod registry;
 pub mod router;
 pub mod wire;
 
-pub use registry::{GatewayError, ModelFactory, PredictOk, Registry, ReplicaSet};
+pub use health::{BreakerConfig, BreakerState, BrownoutConfig, ReplicaHealth};
+pub use registry::{retry_after_secs, GatewayError, ModelFactory, PredictOk, Registry, ReplicaSet};
 
-use std::io;
+use std::io::{self, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use http::{json_escape, read_request, write_response, Request, Response};
-use msd_serve::ServeConfig;
+use http::{
+    json_escape, read_request, response_head, write_response, write_response_throttled, Request,
+    Response,
+};
+use msd_serve::{Chaos, ServeConfig};
 
 /// Tuning knobs for [`Gateway::bind`].
 #[derive(Clone, Debug)]
@@ -69,6 +78,18 @@ pub struct GatewayConfig {
     /// Most simultaneously open client connections; excess connections are
     /// answered `503` and closed.
     pub max_connections: usize,
+    /// Per-replica circuit-breaker thresholds (DESIGN.md §14).
+    pub breaker: BreakerConfig,
+    /// Early load-shedding policy; disabled by default.
+    pub brownout: BrownoutConfig,
+    /// Deadline applied to predict requests that carry no
+    /// `X-Msd-Deadline-Ms` header. `None` (default) = wait indefinitely,
+    /// exactly the pre-deadline gateway.
+    pub default_deadline: Option<Duration>,
+    /// Fault-injection plan for the gateway's own connection handling
+    /// (conn drops, slow-loris writes). `None` falls back to the
+    /// process-wide `MSD_CHAOS` plan, so one env var arms every layer.
+    pub chaos: Option<Arc<Chaos>>,
 }
 
 impl Default for GatewayConfig {
@@ -78,6 +99,10 @@ impl Default for GatewayConfig {
             replicas: 2,
             max_body_bytes: 64 * 1024 * 1024,
             max_connections: 256,
+            breaker: BreakerConfig::default(),
+            brownout: BrownoutConfig::default(),
+            default_deadline: None,
+            chaos: None,
         }
     }
 }
@@ -103,7 +128,22 @@ impl Gateway {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
-        let registry = Arc::new(Registry::new(cfg.serve.clone(), cfg.replicas));
+        // One chaos plan arms every layer: an explicit config handle wins,
+        // then the process-wide MSD_CHAOS plan, then nothing. The serve
+        // side inherits the same handle so worker faults and connection
+        // faults share one deterministic schedule.
+        let chaos = cfg.chaos.clone().or_else(Chaos::from_env);
+        let mut serve_cfg = cfg.serve.clone();
+        if serve_cfg.chaos.is_none() {
+            serve_cfg.chaos = chaos.clone();
+        }
+        let registry = Arc::new(Registry::with_policies(
+            serve_cfg,
+            cfg.replicas,
+            cfg.breaker.clone(),
+            cfg.brownout.clone(),
+            cfg.default_deadline,
+        ));
         let stop = Arc::new(AtomicBool::new(false));
         let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         let active = Arc::new(AtomicUsize::new(0));
@@ -117,7 +157,9 @@ impl Gateway {
             std::thread::Builder::new()
                 .name("msd-gateway-accept".into())
                 .spawn(move || {
-                    accept_loop(listener, registry, stop, conns, active, max_body, max_conns)
+                    accept_loop(
+                        listener, registry, stop, conns, active, max_body, max_conns, chaos,
+                    )
                 })
                 .expect("spawn gateway accept thread")
         };
@@ -177,6 +219,7 @@ fn accept_loop(
     active: Arc<AtomicUsize>,
     max_body: usize,
     max_conns: usize,
+    chaos: Option<Arc<Chaos>>,
 ) {
     while !stop.load(Ordering::Relaxed) {
         match listener.accept() {
@@ -184,11 +227,15 @@ fn accept_loop(
                 if active.load(Ordering::Relaxed) >= max_conns {
                     // Shed the connection with a typed answer rather than a
                     // silent RST: the client sees overload, not a mystery.
+                    // The write timeout keeps a dead peer from wedging the
+                    // accept loop itself.
                     let _ = stream.set_nonblocking(false);
+                    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
                     let resp = Response::json(
                         503,
                         "{\"error\":\"connection limit reached\"}".to_string(),
-                    );
+                    )
+                    .with_retry_after(1);
                     let _ = write_response(&mut stream, &resp, false);
                     continue;
                 }
@@ -196,10 +243,12 @@ fn accept_loop(
                 let registry = Arc::clone(&registry);
                 let stop = Arc::clone(&stop);
                 let active = Arc::clone(&active);
+                let chaos = chaos.clone();
                 let handle = std::thread::Builder::new()
                     .name("msd-gateway-conn".into())
                     .spawn(move || {
-                        let _ = connection_loop(&mut stream, &registry, &stop, max_body);
+                        let _ =
+                            connection_loop(&mut stream, &registry, &stop, max_body, chaos.as_deref());
                         active.fetch_sub(1, Ordering::Relaxed);
                     })
                     .expect("spawn gateway connection thread");
@@ -229,10 +278,14 @@ fn connection_loop(
     registry: &Registry,
     stop: &AtomicBool,
     max_body: usize,
+    chaos: Option<&Chaos>,
 ) -> io::Result<()> {
     stream.set_nodelay(true)?;
     stream.set_nonblocking(false)?;
     stream.set_read_timeout(Some(POLL))?;
+    // A dead or unreadably slow peer must not pin this handler thread on a
+    // full send buffer.
+    stream.set_write_timeout(Some(Duration::from_secs(30)))?;
     let mut carry = Vec::new();
     loop {
         if stop.load(Ordering::Relaxed) {
@@ -252,6 +305,26 @@ fn connection_loop(
         };
         let keep_alive = req.keep_alive();
         let resp = handle_request(registry, &req);
+        // Connection-level fault injection (only armed under MSD_CHAOS or
+        // an explicit plan). The model answer is already computed and
+        // accounted — these faults corrupt only the wire, which is exactly
+        // what a retrying client must absorb.
+        if let Some(c) = chaos {
+            if c.conn_drop() {
+                // Drop mid-response: half the head, then a hard close.
+                let head = response_head(&resp, keep_alive);
+                let _ = stream.write_all(&head.as_bytes()[..head.len() / 2]);
+                let _ = stream.flush();
+                return Ok(());
+            }
+            if let Some(stall) = c.slow_loris() {
+                write_response_throttled(stream, &resp, keep_alive, stall)?;
+                if !keep_alive {
+                    return Ok(());
+                }
+                continue;
+            }
+        }
         write_response(stream, &resp, keep_alive)?;
         if !keep_alive {
             return Ok(());
@@ -334,7 +407,26 @@ fn predict(registry: &Registry, name: &str, req: &Request) -> Response {
         );
     }
     let key = req.header("x-msd-key").unwrap_or("");
-    match registry.predict(name, key.as_bytes(), x) {
+    // Per-request deadline: X-Msd-Deadline-Ms counts from arrival at this
+    // gateway. Absent → the registry's default; malformed → a typed 400
+    // (silently ignoring it would grant an unbounded wait the client
+    // explicitly tried to cap).
+    let deadline = match req.header("x-msd-deadline-ms") {
+        None => None,
+        Some(v) => match v.parse::<u64>() {
+            Ok(0) => {
+                return error_response(400, "x-msd-deadline-ms must be a positive integer")
+            }
+            Ok(ms) => Some(Instant::now() + Duration::from_millis(ms)),
+            Err(_) => {
+                return error_response(
+                    400,
+                    &format!("bad x-msd-deadline-ms: {v:?} (want milliseconds)"),
+                )
+            }
+        },
+    };
+    match registry.predict(name, key.as_bytes(), x, deadline) {
         Ok(ok) => {
             let mut resp = Response::new(200, wire::encode_tensor(&ok.y));
             resp.headers
@@ -348,9 +440,18 @@ fn predict(registry: &Registry, name: &str, req: &Request) -> Response {
         Err(GatewayError::UnknownModel(name)) => {
             error_response(404, &format!("unknown model {name:?}"))
         }
-        Err(GatewayError::Overloaded) => error_response(429, "admission queue full"),
+        Err(GatewayError::Overloaded { retry_after_secs }) => {
+            error_response(429, "admission queue full").with_retry_after(retry_after_secs)
+        }
+        Err(GatewayError::Brownout { retry_after_secs }) => {
+            error_response(429, "brownout: load shed before admission")
+                .with_retry_after(retry_after_secs)
+        }
+        Err(GatewayError::DeadlineExceeded) => error_response(504, "request deadline exceeded"),
         Err(GatewayError::Internal(msg)) => error_response(500, &msg),
-        Err(GatewayError::ShuttingDown) => error_response(503, "shutting down"),
+        Err(GatewayError::ShuttingDown) => {
+            error_response(503, "shutting down").with_retry_after(1)
+        }
     }
 }
 

@@ -16,12 +16,12 @@
 //! the gateway's contract is that `lost` is zero at any concurrency.
 
 use std::fmt::Write as _;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use msd_serve::loadgen::{arrival_offsets, LoadSpec, Pacer};
 use msd_serve::percentile;
 
-use crate::http::Client;
+use crate::http::{Client, ClientConfig, ClientResponse};
 
 /// One request to fire at the gateway.
 #[derive(Clone, Debug)]
@@ -34,7 +34,7 @@ pub struct TcpRequest {
     pub body: Vec<u8>,
 }
 
-/// Pacing and sharding for one TCP run.
+/// Pacing, sharding, and the retry policy for one TCP run.
 #[derive(Clone, Debug)]
 pub struct TcpLoadSpec {
     /// Mean arrival rate across *all* connections, requests/second. Zero
@@ -42,10 +42,61 @@ pub struct TcpLoadSpec {
     pub rate_rps: f64,
     /// Concurrent keep-alive connections (≥ 1).
     pub connections: usize,
-    /// Seed for the arrival schedule.
+    /// Seed for the arrival schedule *and* the retry-jitter stream.
     pub seed: u64,
     /// Per-connection catch-up burst cap (see [`LoadSpec::max_burst`]).
     pub max_burst: usize,
+    /// Extra attempts allowed per request beyond the first. `0` (default)
+    /// reproduces the pre-retry driver exactly: one attempt, a transport
+    /// failure is `lost`. With a budget, transport errors and retryable
+    /// statuses (429/500/503/504) are retried under capped exponential
+    /// backoff with seeded jitter.
+    pub retry_budget: u32,
+    /// First backoff step.
+    pub backoff_base: Duration,
+    /// Backoff ceiling; also caps an honored `Retry-After` so a server
+    /// hint can slow the driver down but never park it for seconds.
+    pub backoff_cap: Duration,
+    /// When set, every request carries `X-Msd-Deadline-Ms: <this>`.
+    pub deadline_ms: Option<u64>,
+    /// Socket timeouts for every connection the driver opens.
+    pub client: ClientConfig,
+}
+
+impl Default for TcpLoadSpec {
+    fn default() -> Self {
+        TcpLoadSpec {
+            rate_rps: 0.0,
+            connections: 1,
+            seed: 1,
+            max_burst: 8,
+            retry_budget: 0,
+            backoff_base: Duration::from_millis(5),
+            backoff_cap: Duration::from_millis(200),
+            deadline_ms: None,
+            client: ClientConfig::default(),
+        }
+    }
+}
+
+/// SplitMix64 — the jitter stream's mixing function. Pure, so a seeded run
+/// replays its exact backoff schedule.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The pause before retry number `attempt` (1 = first retry) of request
+/// `request`: capped exponential backoff `base · 2^(attempt-1)` scaled by a
+/// seeded jitter factor in `[0.5, 1.0]`. Deterministic in
+/// `(seed, request, attempt)` and never above `cap`.
+pub fn next_backoff(seed: u64, request: u64, attempt: u32, base: Duration, cap: Duration) -> Duration {
+    let exp = base.saturating_mul(1u32 << attempt.saturating_sub(1).min(16));
+    let unit = (splitmix64(seed ^ request.wrapping_mul(0x9e37_79b9) ^ attempt as u64) >> 11) as f64
+        / (1u64 << 53) as f64;
+    exp.min(cap).mul_f64(0.5 + 0.5 * unit)
 }
 
 /// What one request got back, verbatim.
@@ -60,7 +111,11 @@ pub struct TcpResponse {
     /// Response body bytes, untouched.
     pub body: Vec<u8>,
     /// Request latency (write first byte → last body byte), microseconds.
+    /// With retries this spans all attempts, backoff pauses included —
+    /// it is what the end user of a retrying client experiences.
     pub latency_us: u64,
+    /// Attempts this answer took (1 = no retries).
+    pub attempts: u32,
 }
 
 /// A whole run, responses in request-index order.
@@ -76,6 +131,11 @@ pub struct TcpRunOutcome {
     pub skew_max_us: u64,
     /// Total schedule re-anchors across connections.
     pub reanchors: u64,
+    /// Attempts fired across all requests (= requests when retries are
+    /// off or never needed).
+    pub attempts_total: u64,
+    /// Attempts beyond each request's first.
+    pub retries_total: u64,
 }
 
 impl TcpRunOutcome {
@@ -126,73 +186,139 @@ pub fn run_tcp_open_loop(addr: &str, requests: &[TcpRequest], spec: &TcpLoadSpec
     let mut skew_mean_us = 0.0f64;
     let mut skew_max_us = 0u64;
     let mut reanchors = 0u64;
+    let mut attempts_total = 0u64;
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(connections);
         for c in 0..connections {
             let offsets = &offsets;
             handles.push(scope.spawn(move || {
-                let mut client = Client::connect(addr).ok();
+                let mut client = Client::connect_with(addr, spec.client).ok();
                 let mut pacer = Pacer::start(if spec.rate_rps > 0.0 { spec.max_burst } else { 0 });
                 let mut out: Vec<(usize, Option<TcpResponse>)> = Vec::new();
+                let mut attempts_fired = 0u64;
                 for i in (c..requests.len()).step_by(connections) {
                     if spec.rate_rps > 0.0 {
                         pacer.pace(offsets[i]);
                     }
-                    let req = &requests[i];
-                    // One reconnect attempt per request: a died connection
-                    // must not strand the rest of this shard.
-                    if client.is_none() {
-                        client = Client::connect(addr).ok();
-                    }
-                    let resp = client.as_mut().and_then(|cl| {
-                        let sent = Instant::now();
-                        let path = format!("/v1/models/{}/predict", req.model);
-                        match cl.request(
-                            "POST",
-                            &path,
-                            &[
-                                ("X-Msd-Key", req.key.as_str()),
-                                ("Content-Type", crate::wire::CONTENT_TYPE),
-                            ],
-                            &req.body,
-                        ) {
-                            Ok(r) => Some(TcpResponse {
-                                status: r.status,
-                                version: r
-                                    .header("x-msd-model-version")
-                                    .and_then(|v| v.parse().ok()),
-                                replica: r.header("x-msd-replica").and_then(|v| v.parse().ok()),
-                                body: r.body,
-                                latency_us: sent.elapsed().as_micros() as u64,
-                            }),
-                            Err(_) => None,
-                        }
-                    });
-                    if resp.is_none() {
-                        client = None; // force reconnect next time
-                    }
+                    let resp = drive_one(addr, &requests[i], i, spec, &mut client);
+                    attempts_fired += resp.as_ref().map_or(1 + spec.retry_budget, |r| r.attempts)
+                        as u64;
                     out.push((i, resp));
                 }
-                (out, pacer.skew_mean_us(), pacer.skew_max_us, pacer.reanchors)
+                (
+                    out,
+                    pacer.skew_mean_us(),
+                    pacer.skew_max_us,
+                    pacer.reanchors,
+                    attempts_fired,
+                )
             }));
         }
         for h in handles {
-            let (out, mean, max, re) = h.join().expect("loadgen connection thread panicked");
+            let (out, mean, max, re, fired) =
+                h.join().expect("loadgen connection thread panicked");
             for (i, resp) in out {
                 results[i] = resp;
             }
             skew_mean_us = skew_mean_us.max(mean);
             skew_max_us = skew_max_us.max(max);
             reanchors += re;
+            attempts_total += fired;
         }
     });
     TcpRunOutcome {
+        retries_total: attempts_total.saturating_sub(requests.len() as u64),
         responses: results,
         wall_s: start.elapsed().as_secs_f64(),
         skew_mean_us,
         skew_max_us,
         reanchors,
+        attempts_total,
     }
+}
+
+/// Whether a status is worth retrying: overload (429), worker panic (500),
+/// shutdown (503), and deadline (504) are all transient under chaos or a
+/// recovering fleet. 4xx protocol errors are not — the same bytes will
+/// fail the same way forever.
+fn retryable(status: u16) -> bool {
+    matches!(status, 429 | 500 | 503 | 504)
+}
+
+/// Runs one request to completion under the spec's retry budget. Returns
+/// `None` only when every allowed attempt died at the transport layer —
+/// with a budget of 0 this is exactly the old single-shot driver.
+fn drive_one(
+    addr: &str,
+    req: &TcpRequest,
+    index: usize,
+    spec: &TcpLoadSpec,
+    client: &mut Option<Client>,
+) -> Option<TcpResponse> {
+    let path = format!("/v1/models/{}/predict", req.model);
+    let deadline_header = spec.deadline_ms.map(|ms| ms.to_string());
+    let sent = Instant::now();
+    let max_attempts = 1 + spec.retry_budget;
+    for attempt in 1..=max_attempts {
+        // One reconnect attempt per try: a died connection must not strand
+        // the rest of this shard.
+        if client.is_none() {
+            *client = Client::connect_with(addr, spec.client).ok();
+        }
+        let result: Option<ClientResponse> = client.as_mut().and_then(|cl| {
+            let mut headers: Vec<(&str, &str)> = vec![
+                ("X-Msd-Key", req.key.as_str()),
+                ("Content-Type", crate::wire::CONTENT_TYPE),
+            ];
+            if let Some(ms) = deadline_header.as_deref() {
+                headers.push(("X-Msd-Deadline-Ms", ms));
+            }
+            cl.request("POST", &path, &headers, &req.body).ok()
+        });
+        match result {
+            Some(r) if retryable(r.status) && attempt < max_attempts => {
+                // Honor the server's Retry-After hint, capped by the
+                // backoff ceiling (the hint is in whole seconds; eating it
+                // raw would park a 500-request run for minutes).
+                let pause = r
+                    .header("retry-after")
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .map(|secs| Duration::from_secs(secs).min(spec.backoff_cap));
+                std::thread::sleep(pause.unwrap_or_else(|| {
+                    next_backoff(
+                        spec.seed,
+                        index as u64,
+                        attempt,
+                        spec.backoff_base,
+                        spec.backoff_cap,
+                    )
+                }));
+            }
+            Some(r) => {
+                return Some(TcpResponse {
+                    status: r.status,
+                    version: r.header("x-msd-model-version").and_then(|v| v.parse().ok()),
+                    replica: r.header("x-msd-replica").and_then(|v| v.parse().ok()),
+                    body: r.body,
+                    latency_us: sent.elapsed().as_micros() as u64,
+                    attempts: attempt,
+                });
+            }
+            None => {
+                *client = None; // force reconnect on the next try
+                if attempt < max_attempts {
+                    std::thread::sleep(next_backoff(
+                        spec.seed,
+                        index as u64,
+                        attempt,
+                        spec.backoff_base,
+                        spec.backoff_cap,
+                    ));
+                }
+            }
+        }
+    }
+    None
 }
 
 /// One sustained-RPS-vs-latency row of `target/BENCH_gateway.json`.
@@ -228,6 +354,16 @@ pub struct GatewayBenchRow {
     pub skew_max_us: u64,
     /// Total schedule re-anchors.
     pub reanchors: u64,
+    /// Attempts fired (= `requests` when no retries happened).
+    pub attempts: u64,
+    /// Attempts beyond each request's first.
+    pub retries: u64,
+    /// Hedged (duplicate speculative) attempts. The driver never hedges
+    /// today; the column exists so rows stay comparable if it ever does.
+    pub hedges: u64,
+    /// The `MSD_CHAOS` fault plan active during the run (empty = none), so
+    /// a regression diff never compares a chaos row against a clean one.
+    pub fault_plan: String,
 }
 
 impl GatewayBenchRow {
@@ -258,6 +394,10 @@ impl GatewayBenchRow {
             skew_mean_us: outcome.skew_mean_us,
             skew_max_us: outcome.skew_max_us,
             reanchors: outcome.reanchors,
+            attempts: outcome.attempts_total,
+            retries: outcome.retries_total,
+            hedges: 0,
+            fault_plan: std::env::var("MSD_CHAOS").unwrap_or_default(),
         }
     }
 
@@ -269,7 +409,8 @@ impl GatewayBenchRow {
             "{{\"scenario\":\"{}\",\"requests\":{},\"connections\":{},\
              \"offered_rps\":{:.1},\"achieved_rps\":{:.2},\"ok\":{},\"rejected\":{},\
              \"failed\":{},\"lost\":{},\"p50_us\":{},\"p95_us\":{},\"p99_us\":{},\
-             \"skew_mean_us\":{:.1},\"skew_max_us\":{},\"reanchors\":{}}}",
+             \"skew_mean_us\":{:.1},\"skew_max_us\":{},\"reanchors\":{},\
+             \"attempts\":{},\"retries\":{},\"hedges\":{},\"fault_plan\":\"{}\"}}",
             self.scenario,
             self.requests,
             self.connections,
@@ -284,7 +425,11 @@ impl GatewayBenchRow {
             self.p99_us,
             self.skew_mean_us,
             self.skew_max_us,
-            self.reanchors
+            self.reanchors,
+            self.attempts,
+            self.retries,
+            self.hedges,
+            crate::http::json_escape(&self.fault_plan)
         );
         s
     }
@@ -304,6 +449,7 @@ mod tests {
                     replica: Some(0),
                     body: vec![1, 2],
                     latency_us: 120,
+                    attempts: 2,
                 }),
                 Some(TcpResponse {
                     status: 429,
@@ -311,6 +457,7 @@ mod tests {
                     replica: None,
                     body: vec![],
                     latency_us: 15,
+                    attempts: 1,
                 }),
                 None,
             ],
@@ -318,6 +465,8 @@ mod tests {
             skew_mean_us: 3.5,
             skew_max_us: 40,
             reanchors: 0,
+            attempts_total: 4,
+            retries_total: 1,
         };
         assert_eq!(outcome.lost(), 1);
         assert_eq!(outcome.count_status(200), 1);
@@ -326,14 +475,43 @@ mod tests {
             rate_rps: 100.0,
             connections: 2,
             seed: 7,
-            max_burst: 8,
+            ..TcpLoadSpec::default()
         };
         let row = GatewayBenchRow::from_outcome("mix", &spec, &outcome);
         assert_eq!(row.ok + row.rejected + row.failed + row.lost, row.requests);
         assert_eq!(row.lost, 1);
+        assert_eq!(row.attempts, 4);
+        assert_eq!(row.retries, 1);
         let json = row.to_json();
         assert!(json.contains("\"lost\":1"), "{json}");
         assert!(json.contains("\"p50_us\":120"), "{json}");
+        assert!(json.contains("\"attempts\":4"), "{json}");
+        assert!(json.contains("\"fault_plan\":"), "{json}");
         assert_eq!(json.matches('{').count(), 1, "{json}");
+    }
+
+    #[test]
+    fn backoff_is_seeded_capped_and_grows() {
+        let base = Duration::from_millis(5);
+        let cap = Duration::from_millis(200);
+        // Deterministic: the same (seed, request, attempt) replays exactly.
+        for attempt in 1..=8 {
+            assert_eq!(
+                next_backoff(42, 7, attempt, base, cap),
+                next_backoff(42, 7, attempt, base, cap)
+            );
+        }
+        // Bounded: never above the cap, never below half the (capped) step.
+        for request in 0..50u64 {
+            for attempt in 1..=10 {
+                let d = next_backoff(9, request, attempt, base, cap);
+                assert!(d <= cap, "{d:?} above cap");
+                assert!(d >= base / 2, "{d:?} below base/2");
+            }
+        }
+        // Jitter actually varies across requests.
+        let spread: std::collections::BTreeSet<Duration> =
+            (0..20).map(|r| next_backoff(1, r, 3, base, cap)).collect();
+        assert!(spread.len() > 10, "jitter collapsed: {spread:?}");
     }
 }

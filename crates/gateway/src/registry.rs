@@ -29,13 +29,15 @@ use std::fmt::Write as _;
 use std::io;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
+use std::time::{Duration, Instant};
 
 use msd_nn::{DynModel, ParamStore};
 use msd_serve::{ServeConfig, ServeError, ServeStats, Server};
 use msd_tensor::Tensor;
 
+use crate::health::{BreakerConfig, BrownoutConfig, ReplicaHealth};
 use crate::http::json_escape;
-use crate::router::route;
+use crate::router::route_healthy;
 
 /// Builds one fresh instance of a model: the architecture with its
 /// deterministic parameter initialisation. The registry overwrites the
@@ -49,6 +51,10 @@ pub struct ReplicaSet {
     /// Monotonic version number, starting at 1 for the registered model.
     pub version: u32,
     servers: Vec<Server>,
+    /// One health record per replica. A freshly published version starts
+    /// with every breaker CLOSED: new parameters mean the old error
+    /// evidence no longer applies.
+    health: Vec<Arc<ReplicaHealth>>,
 }
 
 impl ReplicaSet {
@@ -61,9 +67,26 @@ impl ReplicaSet {
     pub fn stats(&self) -> Vec<ServeStats> {
         self.servers.iter().map(|s| s.stats()).collect()
     }
+
+    /// The per-replica health records (breaker state, latency EWMA).
+    pub fn health(&self) -> &[Arc<ReplicaHealth>] {
+        &self.health
+    }
+
+    /// The replica to fail static to when every breaker is open: least-bad
+    /// by [`ReplicaHealth::badness`], ties to the lowest index. The fleet
+    /// still answers — a fully-open panel means the evidence no longer
+    /// discriminates, and refusing all traffic would turn a partial outage
+    /// into a total one.
+    fn least_bad(&self) -> usize {
+        (0..self.health.len())
+            .min_by_key(|&i| self.health[i].badness())
+            .unwrap_or(0)
+    }
 }
 
 /// Everything the gateway reports about one answered prediction.
+#[derive(Debug)]
 pub struct PredictOk {
     /// The prediction, bit-identical to `Model::predict` on the version's
     /// parameters.
@@ -79,8 +102,23 @@ pub struct PredictOk {
 pub enum GatewayError {
     /// No model registered under that name.
     UnknownModel(String),
-    /// The chosen replica's admission queue was full.
-    Overloaded,
+    /// The chosen replica's admission queue was full. Carries the
+    /// `Retry-After` hint (seconds) the HTTP edge should emit.
+    Overloaded {
+        /// Suggested client back-off, seconds.
+        retry_after_secs: u64,
+    },
+    /// The brownout policy shed the request before admission (queue depth
+    /// or latency EWMA over threshold) — same 429 surface as `Overloaded`,
+    /// but the replica never saw the request.
+    Brownout {
+        /// Suggested client back-off, seconds.
+        retry_after_secs: u64,
+    },
+    /// The request's deadline expired before an answer was produced —
+    /// either shed by the replica's batcher or timed out at the gateway's
+    /// wait. Maps to HTTP 504.
+    DeadlineExceeded,
     /// The replica answered with an internal serving error (worker panic).
     Internal(String),
     /// The replica is shutting down.
@@ -91,7 +129,9 @@ impl std::fmt::Display for GatewayError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             GatewayError::UnknownModel(name) => write!(f, "unknown model {name:?}"),
-            GatewayError::Overloaded => write!(f, "admission queue full"),
+            GatewayError::Overloaded { .. } => write!(f, "admission queue full"),
+            GatewayError::Brownout { .. } => write!(f, "brownout: load shed before admission"),
+            GatewayError::DeadlineExceeded => write!(f, "request deadline exceeded"),
             GatewayError::Internal(msg) => write!(f, "internal error: {msg}"),
             GatewayError::ShuttingDown => write!(f, "shutting down"),
         }
@@ -99,6 +139,16 @@ impl std::fmt::Display for GatewayError {
 }
 
 impl std::error::Error for GatewayError {}
+
+/// The `Retry-After` hint (seconds) for a shed request: one second of
+/// floor, plus the batcher's full wait window, plus one second per full
+/// queue's worth of requests already in flight, clamped to 30 s so a
+/// misconfigured gateway can never tell clients to go away for minutes.
+/// Pure so the known-answer test pins the exact values clients see.
+pub fn retry_after_secs(in_flight: u64, queue_cap: usize, max_wait: Duration) -> u64 {
+    let per_queue = in_flight / (queue_cap.max(1) as u64);
+    (1 + max_wait.as_secs() + per_queue).min(30)
+}
 
 struct Entry {
     factory: ModelFactory,
@@ -111,21 +161,48 @@ pub struct Registry {
     models: RwLock<BTreeMap<String, Arc<Entry>>>,
     serve_cfg: ServeConfig,
     replicas: usize,
+    breaker: BreakerConfig,
+    brownout: BrownoutConfig,
+    default_deadline: Option<Duration>,
 }
 
 impl Registry {
     /// An empty registry whose models each run `replicas` servers built
-    /// from `serve_cfg`.
+    /// from `serve_cfg`, with default breaker thresholds, brownout
+    /// disabled, and no default deadline.
     pub fn new(serve_cfg: ServeConfig, replicas: usize) -> Registry {
+        Registry::with_policies(
+            serve_cfg,
+            replicas,
+            BreakerConfig::default(),
+            BrownoutConfig::default(),
+            None,
+        )
+    }
+
+    /// [`Registry::new`] with explicit fault-tolerance policies: breaker
+    /// thresholds, the brownout shed policy, and the deadline applied to
+    /// requests that do not carry their own.
+    pub fn with_policies(
+        serve_cfg: ServeConfig,
+        replicas: usize,
+        breaker: BreakerConfig,
+        brownout: BrownoutConfig,
+        default_deadline: Option<Duration>,
+    ) -> Registry {
         Registry {
             models: RwLock::new(BTreeMap::new()),
             serve_cfg,
             replicas: replicas.max(1),
+            breaker,
+            brownout,
+            default_deadline,
         }
     }
 
     fn build_set(&self, factory: &ModelFactory, params: Option<&[u8]>, version: u32) -> io::Result<ReplicaSet> {
         let mut servers = Vec::with_capacity(self.replicas);
+        let mut health = Vec::with_capacity(self.replicas);
         for _ in 0..self.replicas {
             let (model, mut store) = factory();
             if let Some(bytes) = params {
@@ -134,8 +211,13 @@ impl Registry {
                 msd_nn::store::decode(&mut store, bytes)?;
             }
             servers.push(Server::start(model, store, self.serve_cfg.clone())?);
+            health.push(Arc::new(ReplicaHealth::new(self.breaker.clone())));
         }
-        Ok(ReplicaSet { version, servers })
+        Ok(ReplicaSet {
+            version,
+            servers,
+            health,
+        })
     }
 
     /// Registers `name` at version 1. `params` optionally overrides the
@@ -196,9 +278,26 @@ impl Registry {
         Ok(version)
     }
 
-    /// Routes one request: picks the replica deterministically from `key`,
-    /// submits, and waits for the answer.
-    pub fn predict(&self, name: &str, key: &[u8], x: Tensor) -> Result<PredictOk, GatewayError> {
+    /// Routes one request: picks the first replica in `key`'s deterministic
+    /// failover order whose breaker is not open (fail-static to the
+    /// least-bad replica when every breaker is open), applies the brownout
+    /// policy, submits with the effective deadline, and waits for the
+    /// answer.
+    ///
+    /// `deadline` is the caller-supplied absolute deadline (from the
+    /// `X-Msd-Deadline-Ms` header); `None` falls back to the registry's
+    /// default. The gateway waits a short grace past the deadline —
+    /// `2 × max_wait + 50 ms` — so a batcher-shed request surfaces as the
+    /// replica's typed `DeadlineExceeded` rather than a gateway-side
+    /// timeout; only a genuinely wedged replica hits the timeout path,
+    /// which counts as a breaker error.
+    pub fn predict(
+        &self,
+        name: &str,
+        key: &[u8],
+        x: Tensor,
+        deadline: Option<Instant>,
+    ) -> Result<PredictOk, GatewayError> {
         let entry = self.entry(name)?;
         // Clone the published version out of the short-held lock; the swap
         // path can publish a successor at any time without affecting us.
@@ -207,19 +306,112 @@ impl Registry {
             .lock()
             .unwrap_or_else(|p| p.into_inner())
             .clone();
-        let replica = route(key, set.servers.len());
-        match set.servers[replica].infer(x) {
-            Ok(y) => Ok(PredictOk {
-                y,
-                version: set.version,
-                replica,
-            }),
-            Err(ServeError::Overloaded) => Err(GatewayError::Overloaded),
-            Err(ServeError::Internal(msg)) => Err(GatewayError::Internal(msg)),
-            Err(ServeError::ShuttingDown) | Err(ServeError::Canceled) => {
-                Err(GatewayError::ShuttingDown)
-            }
+        let now = Instant::now();
+        let open: Vec<bool> = set.health.iter().map(|h| h.route_away(now)).collect();
+        let replica = route_healthy(key, &open).unwrap_or_else(|| set.least_bad());
+        let health = &set.health[replica];
+        let server = &set.servers[replica];
+
+        // Brownout: shed before admission when the chosen replica is
+        // already saturated. Cheaper than queueing a request that will
+        // blow its deadline anyway.
+        let in_flight = server.in_flight();
+        let shed_depth = self.brownout.max_in_flight > 0 && in_flight >= self.brownout.max_in_flight;
+        let shed_latency =
+            self.brownout.max_ewma_us > 0 && health.ewma_us() > self.brownout.max_ewma_us as f64;
+        if shed_depth || shed_latency {
+            return Err(GatewayError::Brownout {
+                retry_after_secs: retry_after_secs(
+                    in_flight,
+                    self.serve_cfg.queue_cap,
+                    self.serve_cfg.max_wait,
+                ),
+            });
         }
+
+        let deadline = deadline.or_else(|| self.default_deadline.map(|d| now + d));
+        let mut pending = match server.submit_with_deadline(x, deadline) {
+            Ok(p) => p,
+            Err(ServeError::Overloaded) => {
+                // Queue-full is backpressure, not sickness: no breaker
+                // feedback, just a typed 429 with a back-off hint.
+                return Err(GatewayError::Overloaded {
+                    retry_after_secs: retry_after_secs(
+                        in_flight,
+                        self.serve_cfg.queue_cap,
+                        self.serve_cfg.max_wait,
+                    ),
+                });
+            }
+            Err(e) => return Err(self.fail(health, e)),
+        };
+        let grace = self.serve_cfg.max_wait * 2 + Duration::from_millis(50);
+        let outcome = match deadline {
+            Some(d) => {
+                let cap = d.saturating_duration_since(Instant::now()) + grace;
+                match pending.wait_timeout(cap) {
+                    Some(r) => r,
+                    None => {
+                        // The replica kept the request past its deadline
+                        // plus grace: wedged, not merely slow. Dropping the
+                        // Pending detaches it; the ledger still balances
+                        // because the replica's own shed/complete path
+                        // accounts the request.
+                        health.on_error();
+                        return Err(GatewayError::DeadlineExceeded);
+                    }
+                }
+            }
+            None => pending.wait(),
+        };
+        match outcome {
+            Ok(y) => {
+                let latency_us = now.elapsed().as_micros().min(u64::MAX as u128) as u64;
+                health.on_success(latency_us);
+                Ok(PredictOk {
+                    y,
+                    version: set.version,
+                    replica,
+                })
+            }
+            Err(e) => Err(self.fail(health, e)),
+        }
+    }
+
+    /// Maps a replica error to the gateway surface, recording breaker
+    /// feedback for the error kinds that indicate replica sickness.
+    fn fail(&self, health: &ReplicaHealth, e: ServeError) -> GatewayError {
+        match e {
+            ServeError::Internal(msg) => {
+                health.on_error();
+                GatewayError::Internal(msg)
+            }
+            ServeError::DeadlineExceeded => {
+                health.on_error();
+                GatewayError::DeadlineExceeded
+            }
+            ServeError::Overloaded => GatewayError::Overloaded {
+                retry_after_secs: retry_after_secs(
+                    0,
+                    self.serve_cfg.queue_cap,
+                    self.serve_cfg.max_wait,
+                ),
+            },
+            // Shutdown/cancel is lifecycle, not sickness.
+            ServeError::ShuttingDown | ServeError::Canceled => GatewayError::ShuttingDown,
+        }
+    }
+
+    /// The live published replica set for `name` (health + stats access
+    /// for tests and diagnostics).
+    pub fn current_set(&self, name: &str) -> Result<Arc<ReplicaSet>, GatewayError> {
+        let entry = self.entry(name)?;
+        let set = entry
+            .current
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone();
+        Ok(set)
     }
 
     /// Registered model names, sorted.
@@ -264,29 +456,44 @@ impl Registry {
                 s.push(',');
             }
             let stats = set.stats();
-            let (mut submitted, mut completed, mut rejected, mut failed) = (0u64, 0u64, 0u64, 0u64);
+            let (mut submitted, mut completed, mut rejected, mut failed, mut expired) =
+                (0u64, 0u64, 0u64, 0u64, 0u64);
             for st in &stats {
                 submitted += st.submitted;
                 completed += st.completed;
                 rejected += st.rejected;
                 failed += st.failed;
+                expired += st.expired;
             }
             let _ = write!(
                 s,
                 "{{\"model\":\"{}\",\"version\":{},\"submitted\":{},\"completed\":{},\
-                 \"rejected\":{},\"failed\":{},\"replicas\":[",
+                 \"rejected\":{},\"failed\":{},\"expired\":{},\"replicas\":[",
                 json_escape(name),
                 set.version,
                 submitted,
                 completed,
                 rejected,
-                failed
+                failed,
+                expired
             );
             for (j, st) in stats.iter().enumerate() {
                 if j > 0 {
                     s.push(',');
                 }
-                s.push_str(&st.to_json());
+                // Splice the gateway-side health fields into the replica's
+                // serve-stats object so one GET answers both layers.
+                let mut obj = st.to_json();
+                debug_assert!(obj.ends_with('}'));
+                obj.pop();
+                let h = &set.health[j];
+                let _ = write!(
+                    obj,
+                    ",\"breaker\":\"{}\",\"ewma_us\":{}}}",
+                    h.state().name(),
+                    h.ewma_us() as u64
+                );
+                s.push_str(&obj);
             }
             s.push_str("]}");
         }
@@ -301,5 +508,25 @@ impl Registry {
             .write()
             .unwrap_or_else(|p| p.into_inner())
             .clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retry_after_known_answers() {
+        // Idle gateway, sub-second wait window: the 1 s floor.
+        assert_eq!(retry_after_secs(0, 256, Duration::from_micros(200)), 1);
+        // A 2 s wait window raises the hint past the window itself.
+        assert_eq!(retry_after_secs(0, 256, Duration::from_secs(2)), 3);
+        // One extra second per full queue's worth of in-flight work.
+        assert_eq!(retry_after_secs(512, 256, Duration::from_micros(200)), 3);
+        assert_eq!(retry_after_secs(255, 256, Duration::from_micros(200)), 1);
+        // Clamped: a wedged fleet never tells clients "come back in an hour".
+        assert_eq!(retry_after_secs(1 << 40, 1, Duration::from_secs(600)), 30);
+        // Degenerate queue_cap of 0 must not divide by zero.
+        assert_eq!(retry_after_secs(5, 0, Duration::ZERO), 6);
     }
 }

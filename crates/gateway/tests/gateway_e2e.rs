@@ -129,6 +129,7 @@ fn quick_cfg(replicas: usize) -> GatewayConfig {
             workers: 2,
             events_path: None,
             use_plans: true,
+            ..ServeConfig::default()
         },
         replicas,
         ..GatewayConfig::default()
@@ -307,6 +308,7 @@ fn overload_answers_429_and_loses_nothing() {
         workers: 1,
         events_path: None,
         use_plans: true,
+        ..ServeConfig::default()
     };
     let gw = Gateway::bind("127.0.0.1:0", cfg).unwrap();
     gw.registry()
@@ -335,6 +337,7 @@ fn overload_answers_429_and_loses_nothing() {
             connections: 8,
             seed: 1,
             max_burst: 0,
+            ..TcpLoadSpec::default()
         },
     );
     assert_eq!(outcome.lost(), 0, "no request may vanish");
@@ -425,6 +428,7 @@ fn hot_swap_under_sustained_load_is_lossless_and_byte_identical() {
         connections: 4,
         seed: 42,
         max_burst: 16,
+        ..TcpLoadSpec::default()
     };
     let swap_addr = addr.clone();
     let swapper = std::thread::spawn(move || {

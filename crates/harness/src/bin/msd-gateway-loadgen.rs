@@ -7,7 +7,11 @@
 //! the version named in the response's `X-Msd-Model-Version` header. Any
 //! mismatch, any lost request (no response at all), or any status outside
 //! {200, 429} exits non-zero — a latency number can never be bought with
-//! wrong or dropped answers.
+//! wrong or dropped answers. Under an armed fault plan, `--tolerate-faults`
+//! widens the accepted set to the typed degradation statuses {500, 503,
+//! 504} while keeping losses and byte mismatches fatal, `--retry-budget`
+//! turns on the client-side retry loop, and `--check-ledger` closes the run
+//! by asserting every replica's request ledger balances via GET /stats.
 //!
 //! `--rates` sweeps sustained offered rates, appending one
 //! RPS-vs-latency row per rate to `--out` (default
@@ -39,11 +43,77 @@ fn usage() -> ! {
            --rates <csv>         offered rates to sweep, rps; 0 = unpaced (default 0)\n\
            --seed <n>            arrival-schedule seed (default 42)\n\
            --max-burst <n>       per-connection catch-up burst cap (default 16)\n\
+           --retry-budget <n>    extra attempts per request on 429/500/503/504 (default 0)\n\
+           --deadline-ms <n>     send X-Msd-Deadline-Ms on every request\n\
+           --tolerate-faults     accept typed fault statuses 500/503/504 after retries;\n\
+                                 lost requests and byte mismatches stay fatal\n\
+           --check-ledger        GET /stats after the sweep and fail unless every\n\
+                                 model and replica balances completed+failed+\n\
+                                 rejected+expired == submitted\n\
            --swap-after-ms <n>   hot-swap {first} to v2 this long into the first rate\n\
            --out <path>          JSONL report sink (default target/BENCH_gateway.json)",
         first = DEMO_MODELS[0].name
     );
     std::process::exit(2)
+}
+
+/// Extracts every `"key":<u64>` occurrence from a JSON blob, in document
+/// order. The /stats document nests replica serve-stats inside per-model
+/// aggregates; each object carries each ledger key exactly once, so the
+/// i-th occurrence of every key belongs to the same object.
+fn json_u64s(doc: &str, key: &str) -> Vec<u64> {
+    let needle = format!("\"{key}\":");
+    let mut out = Vec::new();
+    let mut rest = doc;
+    while let Some(pos) = rest.find(&needle) {
+        rest = &rest[pos + needle.len()..];
+        let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+        if let Ok(n) = digits.parse() {
+            out.push(n);
+        }
+    }
+    out
+}
+
+/// Fetches /stats and verifies the request ledger of every object
+/// (model aggregate and individual replica) balances. Returns the number
+/// of unbalanced objects, printing one line per offender.
+fn check_ledger(target: &str) -> usize {
+    let mut client = Client::connect(target).expect("connect for /stats");
+    let resp = client
+        .request("GET", "/stats", &[], &[])
+        .expect("GET /stats");
+    assert_eq!(resp.status, 200, "GET /stats returned {}", resp.status);
+    let doc = String::from_utf8_lossy(&resp.body).into_owned();
+    let submitted = json_u64s(&doc, "submitted");
+    let completed = json_u64s(&doc, "completed");
+    let rejected = json_u64s(&doc, "rejected");
+    let failed = json_u64s(&doc, "failed");
+    let expired = json_u64s(&doc, "expired");
+    if submitted.is_empty()
+        || [&completed, &rejected, &failed, &expired]
+            .iter()
+            .any(|v| v.len() != submitted.len())
+    {
+        eprintln!("ledger check: malformed /stats document: {doc}");
+        return 1;
+    }
+    let mut unbalanced = 0;
+    for i in 0..submitted.len() {
+        let done = completed[i] + rejected[i] + failed[i] + expired[i];
+        if done != submitted[i] {
+            eprintln!(
+                "ledger check: object {i} unbalanced: submitted={} vs \
+                 completed={}+rejected={}+failed={}+expired={} = {done}",
+                submitted[i], completed[i], rejected[i], failed[i], expired[i]
+            );
+            unbalanced += 1;
+        }
+    }
+    if unbalanced == 0 {
+        eprintln!("ledger check: all {} objects balanced", submitted.len());
+    }
+    unbalanced
 }
 
 fn parse<T: std::str::FromStr>(v: Option<&String>) -> T {
@@ -58,6 +128,10 @@ fn main() {
     let mut rates: Vec<f64> = vec![0.0];
     let mut seed = 42u64;
     let mut max_burst = 16usize;
+    let mut retry_budget = 0u32;
+    let mut deadline_ms: Option<u64> = None;
+    let mut tolerate_faults = false;
+    let mut ledger = false;
     let mut swap_after_ms: Option<u64> = None;
     let mut out = String::from("target/BENCH_gateway.json");
     let mut it = args.iter();
@@ -78,6 +152,10 @@ fn main() {
             }
             "--seed" => seed = parse(it.next()),
             "--max-burst" => max_burst = parse(it.next()),
+            "--retry-budget" => retry_budget = parse(it.next()),
+            "--deadline-ms" => deadline_ms = Some(parse(it.next())),
+            "--tolerate-faults" => tolerate_faults = true,
+            "--check-ledger" => ledger = true,
             "--swap-after-ms" => swap_after_ms = Some(parse(it.next())),
             "--out" => out = parse(it.next()),
             _ => usage(),
@@ -119,6 +197,9 @@ fn main() {
             connections,
             seed: seed + ri as u64,
             max_burst,
+            retry_budget,
+            deadline_ms,
+            ..TcpLoadSpec::default()
         };
         // The swap drill runs during the first rate only; later rates keep
         // verifying against whatever version the gateway reports.
@@ -157,6 +238,7 @@ fn main() {
         // of sequential predict for the version that admitted it.
         let mut mismatches = 0usize;
         let mut bad_status = 0usize;
+        let mut tolerated = 0usize;
         let mut versions = std::collections::BTreeMap::<(String, u32), usize>::new();
         for (i, resp) in outcome.responses.iter().enumerate() {
             let Some(resp) = resp else { continue }; // counted via lost()
@@ -190,6 +272,12 @@ fn main() {
                     }
                 }
                 429 => {} // shed load is a measured outcome, not an error
+                500 | 503 | 504 if tolerate_faults => {
+                    // Typed degradation under an armed fault plan: counted,
+                    // reported, and deliberately non-fatal. Anything the
+                    // gateway cannot type (or a lost response) still fails.
+                    tolerated += 1;
+                }
                 s => {
                     eprintln!(
                         "request {i}: status {s}: {}",
@@ -208,15 +296,28 @@ fn main() {
             eprintln!("  {model} v{version}: {n} responses");
         }
         eprintln!(
-            "  ok={} rejected={} failed={} lost={} p50={}us p99={}us achieved={:.1} rps",
-            row.ok, row.rejected, row.failed, row.lost, row.p50_us, row.p99_us, row.achieved_rps
+            "  ok={} rejected={} failed={} lost={} retries={} p50={}us p99={}us achieved={:.1} rps",
+            row.ok,
+            row.rejected,
+            row.failed,
+            row.lost,
+            row.retries,
+            row.p50_us,
+            row.p99_us,
+            row.achieved_rps
         );
+        if tolerated > 0 {
+            eprintln!("  tolerated {tolerated} typed fault responses (--tolerate-faults)");
+        }
         if lost > 0 || mismatches > 0 || bad_status > 0 {
             eprintln!(
                 "FAIL at rate {rate}: lost={lost} mismatches={mismatches} bad_status={bad_status}"
             );
             exit_code = 1;
         }
+    }
+    if ledger && check_ledger(&target) > 0 {
+        exit_code = 1;
     }
     std::process::exit(exit_code);
 }

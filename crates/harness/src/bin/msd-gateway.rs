@@ -30,7 +30,11 @@ fn usage() -> ! {
            --workers <n>       worker threads per replica (default 2)\n\
            --max-batch <n>     micro-batch cap per replica (default 8)\n\
            --queue-cap <n>     admission queue bound per replica (default 256)\n\
-           --run-secs <n>      exit after n seconds; 0 = run until killed (default 0)"
+           --deadline-ms <n>   default per-request deadline; 0 = none (default 0)\n\
+           --run-secs <n>      exit after n seconds; 0 = run until killed (default 0)\n\
+         \n\
+         MSD_CHAOS=<spec> injects a deterministic fault plan (see msd-serve\n\
+         chaos docs); MSD_CHAOS_LOG=<path> appends fired faults as JSONL."
     );
     std::process::exit(2)
 }
@@ -48,6 +52,7 @@ fn main() {
     let mut workers = 2usize;
     let mut max_batch = 8usize;
     let mut queue_cap = 256usize;
+    let mut deadline_ms = 0u64;
     let mut run_secs = 0u64;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -59,6 +64,7 @@ fn main() {
             "--workers" => workers = parse(it.next()),
             "--max-batch" => max_batch = parse(it.next()),
             "--queue-cap" => queue_cap = parse(it.next()),
+            "--deadline-ms" => deadline_ms = parse(it.next()),
             "--run-secs" => run_secs = parse(it.next()),
             _ => usage(),
         }
@@ -75,10 +81,18 @@ fn main() {
             workers,
             events_path: None,
             use_plans: true,
+            default_deadline: (deadline_ms > 0).then(|| Duration::from_millis(deadline_ms)),
+            ..ServeConfig::default()
         },
         replicas,
         ..GatewayConfig::default()
     };
+    // Surface an armed fault plan before serving a single request, so a CI
+    // log always shows whether a run was a chaos run and under which seed.
+    match msd_serve::Chaos::from_env() {
+        Some(chaos) => eprintln!("chaos armed: {}", chaos.plan().to_spec()),
+        None => eprintln!("chaos: off (set MSD_CHAOS=<spec> to arm)"),
+    }
     let gw = Gateway::bind(addr.as_str(), cfg).expect("bind gateway");
     for m in DEMO_MODELS {
         let version = gw

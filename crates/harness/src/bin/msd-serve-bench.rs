@@ -107,6 +107,7 @@ fn main() {
             workers,
             events_path: events.map(Into::into),
             use_plans: true,
+            ..ServeConfig::default()
         },
     )
     .expect("start serve runtime");

@@ -25,6 +25,10 @@ pub enum ServeEvent {
     },
     /// A request was refused at intake because the queue was full.
     Reject,
+    /// A request's deadline passed before evaluation; it was shed with
+    /// [`crate::ServeError::DeadlineExceeded`] instead of running the
+    /// model.
+    Expired,
     /// A worker panicked mid-batch; every request in the batch received
     /// [`crate::ServeError::Internal`] instead of a prediction.
     WorkerPanic {
@@ -44,6 +48,7 @@ impl ServeEvent {
         match self {
             ServeEvent::BatchEnd { .. } => "serve_batch",
             ServeEvent::Reject => "serve_reject",
+            ServeEvent::Expired => "serve_expired",
             ServeEvent::WorkerPanic { .. } => "serve_panic",
             ServeEvent::Stop { .. } => "serve_stop",
         }
@@ -58,6 +63,7 @@ impl ServeEvent {
                 let _ = write!(s, ",\"size\":{size},\"eval_us\":{eval_us}");
             }
             ServeEvent::Reject => {}
+            ServeEvent::Expired => {}
             ServeEvent::WorkerPanic { message } => {
                 let _ = write!(s, ",\"message\":\"{}\"", json_escape(message));
             }
@@ -137,6 +143,7 @@ mod tests {
             rejected: 1,
             completed: 2,
             failed: 0,
+            expired: 0,
             batches: 1,
             plan_batches: 0,
             mean_batch: 2.0,
@@ -153,6 +160,7 @@ mod tests {
                 "serve_batch",
             ),
             (ServeEvent::Reject, "serve_reject"),
+            (ServeEvent::Expired, "serve_expired"),
             (
                 ServeEvent::WorkerPanic {
                     message: "bad \"shape\"\n".into(),

@@ -39,10 +39,12 @@
 //! always on; JSONL telemetry ([`ServeEvent`]) is opt-in via
 //! [`ServeConfig::events_path`] and mirrors the training telemetry schema.
 
+pub mod chaos;
 mod events;
 pub mod loadgen;
 mod stats;
 
+pub use chaos::{Chaos, FaultPlan, FaultPoint};
 pub use events::ServeEvent;
 pub use stats::{percentile, ServeStats};
 
@@ -89,6 +91,16 @@ pub struct ServeConfig {
     /// overrides this to `false` at [`Server::start`] without a rebuild.
     /// Answers are bit-identical either way — plans only change latency.
     pub use_plans: bool,
+    /// Default per-request deadline applied at admission when the caller
+    /// does not pass one to [`Server::submit_with_deadline`]. `None` (the
+    /// default) means requests never expire — the pre-deadline behavior,
+    /// bit for bit.
+    pub default_deadline: Option<Duration>,
+    /// Explicit fault injector for this server. `None` (the default) falls
+    /// back to the process-global `MSD_CHAOS` plan ([`Chaos::from_env`]);
+    /// tests inject two isolated instances of one plan to assert schedule
+    /// determinism.
+    pub chaos: Option<Arc<Chaos>>,
 }
 
 impl Default for ServeConfig {
@@ -100,6 +112,8 @@ impl Default for ServeConfig {
             workers: 4,
             events_path: None,
             use_plans: true,
+            default_deadline: None,
+            chaos: None,
         }
     }
 }
@@ -124,6 +138,9 @@ pub enum ServeError {
     /// A worker panicked while evaluating the batch containing this
     /// request; the payload is the panic message.
     Internal(String),
+    /// The request's deadline passed before a worker evaluated it; it was
+    /// shed without running the model. Maps to HTTP 504 at the gateway.
+    DeadlineExceeded,
 }
 
 impl std::fmt::Display for ServeError {
@@ -133,6 +150,7 @@ impl std::fmt::Display for ServeError {
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
             ServeError::Canceled => write!(f, "request canceled without a response"),
             ServeError::Internal(msg) => write!(f, "internal serving error: {msg}"),
+            ServeError::DeadlineExceeded => write!(f, "request deadline exceeded"),
         }
     }
 }
@@ -143,7 +161,18 @@ impl std::error::Error for ServeError {}
 struct Request {
     x: Tensor,
     admitted: Instant,
+    /// Absolute deadline; `None` never expires. Checked by the batcher
+    /// before packing and by workers before evaluating, so an expired
+    /// request is shed instead of burning model time on an answer nobody
+    /// is waiting for.
+    deadline: Option<Instant>,
     resp: SyncSender<Result<Tensor, ServeError>>,
+}
+
+impl Request {
+    fn expired(&self, now: Instant) -> bool {
+        self.deadline.is_some_and(|d| now >= d)
+    }
 }
 
 /// A handle to one in-flight request.
@@ -165,6 +194,20 @@ impl Pending {
             Err(std::sync::mpsc::TryRecvError::Disconnected) => Some(Err(ServeError::Canceled)),
         }
     }
+
+    /// Blocks for at most `timeout`, returning `None` if no response
+    /// arrived in time. Non-consuming: the handle stays valid, so a caller
+    /// can poll again, give up, or fall back to [`Pending::wait`] — it
+    /// never blocks forever on a wedged worker. The late response, if one
+    /// eventually arrives, is received by a later call or discarded when
+    /// the handle drops; the runtime's ledger counts it either way.
+    pub fn wait_timeout(&mut self, timeout: Duration) -> Option<Result<Tensor, ServeError>> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(r) => Some(r),
+            Err(RecvTimeoutError::Timeout) => None,
+            Err(RecvTimeoutError::Disconnected) => Some(Err(ServeError::Canceled)),
+        }
+    }
 }
 
 /// State shared by the intake, the batcher, and every worker.
@@ -180,6 +223,7 @@ pub struct Server {
     batcher: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     shared: Arc<Shared>,
+    default_deadline: Option<Duration>,
 }
 
 impl Server {
@@ -222,6 +266,7 @@ impl Server {
                 .expect("spawn batcher thread")
         };
         let use_plans = cfg.use_plans && !plan_env_off();
+        let chaos = cfg.chaos.clone().or_else(Chaos::from_env);
         // Compiled plans are pool-global: compilation is expensive (traces
         // plus probe verification at the full batch shape), so a shape must
         // compile at most once per server, not once per worker.
@@ -232,9 +277,12 @@ impl Server {
                 let rx = Arc::clone(&batch_rx);
                 let shared = Arc::clone(&shared);
                 let plan_cache = Arc::clone(&plan_cache);
+                let chaos = chaos.clone();
                 std::thread::Builder::new()
                     .name(format!("msd-serve-worker-{i}"))
-                    .spawn(move || worker_loop(&engine, &rx, &shared, use_plans, &plan_cache))
+                    .spawn(move || {
+                        worker_loop(&engine, &rx, &shared, use_plans, &plan_cache, chaos)
+                    })
                     .expect("spawn worker thread")
             })
             .collect();
@@ -244,6 +292,7 @@ impl Server {
             batcher: Some(batcher),
             workers,
             shared,
+            default_deadline: cfg.default_deadline,
         })
     }
 
@@ -252,12 +301,35 @@ impl Server {
     /// returns a handle to the in-flight response.
     ///
     /// Never blocks: a full queue is an immediate [`ServeError::Overloaded`].
+    ///
+    /// The request carries [`ServeConfig::default_deadline`] (none by
+    /// default); use [`Server::submit_with_deadline`] for a caller-chosen
+    /// deadline.
     pub fn submit(&self, x: Tensor) -> Result<Pending, ServeError> {
+        let deadline = self.default_deadline.map(|d| Instant::now() + d);
+        self.submit_with_deadline(x, deadline)
+    }
+
+    /// [`Server::submit`] with an explicit absolute deadline (`None` never
+    /// expires, overriding any configured default).
+    ///
+    /// A request whose deadline passes before a worker evaluates it is shed
+    /// — answered [`ServeError::DeadlineExceeded`] and counted in
+    /// [`ServeStats::expired`] — without running the model. A deadline
+    /// does not interrupt an evaluation already in flight: once a live
+    /// request enters the forward pass it completes normally, so answers
+    /// stay bit-identical regardless of deadline pressure.
+    pub fn submit_with_deadline(
+        &self,
+        x: Tensor,
+        deadline: Option<Instant>,
+    ) -> Result<Pending, ServeError> {
         let intake = self.intake.as_ref().ok_or(ServeError::ShuttingDown)?;
         let (tx, rx) = sync_channel(1);
         let req = Request {
             x,
             admitted: Instant::now(),
+            deadline,
             resp: tx,
         };
         match intake.try_send(req) {
@@ -266,6 +338,10 @@ impl Server {
                 Ok(Pending { rx })
             }
             Err(TrySendError::Full(_)) => {
+                // A rejected attempt still counts as submitted, so the
+                // terminal ledger reads `completed + failed + rejected +
+                // expired == submitted` — every attempt is accounted for.
+                self.shared.stats.note_submit();
                 self.shared.stats.note_reject();
                 self.shared.events.emit(&ServeEvent::Reject);
                 Err(ServeError::Overloaded)
@@ -284,6 +360,17 @@ impl Server {
         self.shared.stats.snapshot()
     }
 
+    /// Requests admitted but not yet answered, from the relaxed counters.
+    ///
+    /// Cheap — no latency-vector clone like [`Server::stats`] — so
+    /// admission-control policies (the gateway's brownout) can consult it
+    /// per request. Reads of independent relaxed counters can race, so the
+    /// value may transiently be off by the number of in-flight counter
+    /// updates; it is a load signal, not a ledger.
+    pub fn in_flight(&self) -> u64 {
+        self.shared.stats.in_flight()
+    }
+
     /// Stops admitting requests, drains every in-flight batch, joins all
     /// threads, and returns the final counters.
     ///
@@ -291,9 +378,10 @@ impl Server {
     /// [`Server::drain`] a second time — `drain` is idempotent by
     /// construction (every field it touches is `take`n or `drain`ed on the
     /// first pass), so the second pass joins nothing and cannot double-join
-    /// a thread. The counter invariant `completed + failed + rejected ==
-    /// submitted` holds at the moment `shutdown` returns even when a worker
-    /// panics on a batch *during* the drain: the panic is caught in
+    /// a thread. The counter invariant `completed + failed + rejected +
+    /// expired == submitted` holds at the moment `shutdown` returns even
+    /// when a worker panics on a batch *during* the drain: the panic is
+    /// caught in
     /// [`worker_loop`] and every request of that batch is answered and
     /// counted as failed before the worker picks up its next batch.
     pub fn shutdown(mut self) -> ServeStats {
@@ -358,6 +446,13 @@ fn batcher_loop(
                 Err(_) => break, // intake closed and queue drained
             },
         };
+        // Shed a seed that expired while queued: answering it now costs a
+        // channel send; packing it would cost a model evaluation nobody is
+        // waiting for.
+        if seed.expired(Instant::now()) {
+            expire(shared, seed);
+            continue;
+        }
         // The coalescing window is anchored at the seed's *admission*, not
         // at the moment the batcher picked it up. A seed that already sat in
         // the queue — in particular a shape-change request parked in
@@ -373,6 +468,7 @@ fn batcher_loop(
         // singleton batches.
         while !closed && batch.len() < max_batch {
             match rx.try_recv() {
+                Ok(r) if r.expired(Instant::now()) => expire(shared, r),
                 Ok(r) if r.x.shape() == batch[0].x.shape() => batch.push(r),
                 Ok(r) => {
                     pending = Some(r);
@@ -388,7 +484,9 @@ fn batcher_loop(
             }
             match rx.recv_timeout(deadline - now) {
                 Ok(r) => {
-                    if r.x.shape() == batch[0].x.shape() {
+                    if r.expired(Instant::now()) {
+                        expire(shared, r);
+                    } else if r.x.shape() == batch[0].x.shape() {
                         batch.push(r);
                     } else {
                         pending = Some(r);
@@ -426,6 +524,14 @@ fn batcher_loop(
     }
 }
 
+/// Answers one expired request ([`ServeError::DeadlineExceeded`]) and
+/// counts it in the `expired` ledger column.
+fn expire(shared: &Shared, r: Request) {
+    shared.stats.note_expired();
+    shared.events.emit(&ServeEvent::Expired);
+    let _ = r.resp.send(Err(ServeError::DeadlineExceeded));
+}
+
 /// Evaluates batches until the batch queue closes.
 ///
 /// With `use_plans` set, workers evaluate through the pool-shared
@@ -443,6 +549,7 @@ fn worker_loop(
     shared: &Shared,
     use_plans: bool,
     plan_cache: &PlanCache,
+    chaos: Option<Arc<Chaos>>,
 ) {
     let (model, store) = engine;
     let mut scratch = EvalScratch::new();
@@ -450,16 +557,45 @@ fn worker_loop(
     let mut arena = PlanArena::new();
     loop {
         // Hold the lock only for the dequeue so workers drain in parallel.
-        let batch = {
+        let popped = {
             let guard = rx.lock().unwrap_or_else(|p| p.into_inner());
             match guard.recv() {
                 Ok(b) => b,
                 Err(_) => break,
             }
         };
+        // Last expiry check before spending model time: members whose
+        // deadline passed while the batch sat in the dispatch queue are
+        // shed here, and a batch with no live member left skips evaluation
+        // entirely. The split cannot perturb bit-identity for the
+        // survivors — per-sample outputs are independent of batch
+        // composition by the runtime's core contract.
+        let now = Instant::now();
+        let mut batch = Vec::with_capacity(popped.len());
+        for r in popped {
+            if r.expired(now) {
+                expire(shared, r);
+            } else {
+                batch.push(r);
+            }
+        }
+        if batch.is_empty() {
+            continue;
+        }
         let xs: Vec<Tensor> = batch.iter().map(|r| r.x.clone()).collect();
         let t0 = Instant::now();
         let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            // Chaos probes sit inside `catch_unwind`, exactly where a model
+            // bug would surface, so an injected panic exercises the real
+            // containment path rather than a parallel one.
+            if let Some(c) = &chaos {
+                if let Some(stall) = c.worker_stall() {
+                    std::thread::sleep(stall);
+                }
+                if c.worker_panic() {
+                    panic!("chaos: injected worker panic");
+                }
+            }
             if use_plans && xs.iter().all(|x| x.ndim() >= 1 && x.shape()[0] == 1) {
                 // Pack exactly like `predict_batch` so shapes (and answers)
                 // are byte-for-byte the same on both paths.

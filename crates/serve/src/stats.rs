@@ -1,9 +1,9 @@
 //! Always-on serving counters.
 //!
 //! Every request that enters the runtime is accounted for exactly once in
-//! the terminal counters (`completed + failed + rejected == submitted` after
-//! a drained shutdown), so a lost response is directly observable as a
-//! counter imbalance rather than a silent hang.
+//! the terminal counters (`completed + failed + rejected + expired ==
+//! submitted` after a drained shutdown), so a lost response is directly
+//! observable as a counter imbalance rather than a silent hang.
 
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -19,6 +19,7 @@ pub(crate) struct StatsInner {
     rejected: AtomicU64,
     completed: AtomicU64,
     failed: AtomicU64,
+    expired: AtomicU64,
     batches: AtomicU64,
     batched: AtomicU64,
     plan_batches: AtomicU64,
@@ -55,6 +56,22 @@ impl StatsInner {
         self.failed.fetch_add(n as u64, Ordering::Relaxed);
     }
 
+    pub(crate) fn note_expired(&self) {
+        self.expired.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Admitted-but-unanswered requests, from the relaxed counters.
+    /// Saturating: independent relaxed loads can transiently observe a
+    /// terminal counter ahead of `submitted`.
+    pub(crate) fn in_flight(&self) -> u64 {
+        let submitted = self.submitted.load(Ordering::Relaxed);
+        let done = self.rejected.load(Ordering::Relaxed)
+            + self.completed.load(Ordering::Relaxed)
+            + self.failed.load(Ordering::Relaxed)
+            + self.expired.load(Ordering::Relaxed);
+        submitted.saturating_sub(done)
+    }
+
     pub(crate) fn snapshot(&self) -> ServeStats {
         let mut lat = self
             .latencies_us
@@ -69,6 +86,7 @@ impl StatsInner {
             rejected: self.rejected.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
             failed: self.failed.load(Ordering::Relaxed),
+            expired: self.expired.load(Ordering::Relaxed),
             batches,
             plan_batches: self.plan_batches.load(Ordering::Relaxed),
             mean_batch: if batches == 0 {
@@ -108,7 +126,10 @@ pub fn percentile(sorted: &[u64], pct: u64) -> u64 {
 /// delay, not just model evaluation.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ServeStats {
-    /// Requests admitted into the queue (excludes rejected ones).
+    /// Submission attempts, admitted or rejected. After a drained shutdown
+    /// `completed + failed + rejected + expired == submitted`: every
+    /// attempt lands in exactly one terminal column, so a lost request
+    /// shows up as an imbalance. See [`ServeStats::ledger_balanced`].
     pub submitted: u64,
     /// Requests refused at intake because the queue was full.
     pub rejected: u64,
@@ -116,6 +137,9 @@ pub struct ServeStats {
     pub completed: u64,
     /// Requests answered with [`crate::ServeError::Internal`].
     pub failed: u64,
+    /// Requests shed unevaluated because their deadline passed
+    /// ([`crate::ServeError::DeadlineExceeded`]).
+    pub expired: u64,
     /// Micro-batches dispatched to workers.
     pub batches: u64,
     /// Micro-batches evaluated through a compiled inference plan (the rest
@@ -132,18 +156,26 @@ pub struct ServeStats {
 }
 
 impl ServeStats {
+    /// Whether every submitted request has reached exactly one terminal
+    /// column — the runtime's ledger invariant after a drained shutdown.
+    /// Mid-run it is simply "nothing in flight".
+    pub fn ledger_balanced(&self) -> bool {
+        self.completed + self.failed + self.rejected + self.expired == self.submitted
+    }
+
     /// Renders the snapshot as one JSON object (no trailing newline).
     pub fn to_json(&self) -> String {
         let mut s = String::with_capacity(192);
         let _ = write!(
             s,
             "{{\"submitted\":{},\"rejected\":{},\"completed\":{},\"failed\":{},\
-             \"batches\":{},\"plan_batches\":{},\"mean_batch\":{:.3},\"p50_us\":{},\
-             \"p95_us\":{},\"p99_us\":{}}}",
+             \"expired\":{},\"batches\":{},\"plan_batches\":{},\"mean_batch\":{:.3},\
+             \"p50_us\":{},\"p95_us\":{},\"p99_us\":{}}}",
             self.submitted,
             self.rejected,
             self.completed,
             self.failed,
+            self.expired,
             self.batches,
             self.plan_batches,
             self.mean_batch,
@@ -204,7 +236,9 @@ mod tests {
     #[test]
     fn snapshot_reflects_counters() {
         let inner = StatsInner::default();
-        for _ in 0..4 {
+        // 6 attempts: 1 rejected at intake, 3 completed, 1 failed,
+        // 1 expired — a balanced ledger.
+        for _ in 0..6 {
             inner.note_submit();
         }
         inner.note_reject();
@@ -213,17 +247,34 @@ mod tests {
         inner.note_done(20);
         inner.note_done(30);
         inner.note_failed(1);
+        inner.note_expired();
         let s = inner.snapshot();
-        assert_eq!(s.submitted, 4);
+        assert_eq!(s.submitted, 6);
         assert_eq!(s.rejected, 1);
         assert_eq!(s.completed, 3);
         assert_eq!(s.failed, 1);
+        assert_eq!(s.expired, 1);
         assert_eq!(s.batches, 1);
         assert_eq!(s.plan_batches, 0);
+        assert!(s.ledger_balanced(), "{s:?}");
+        assert_eq!(inner.in_flight(), 0);
         assert!((s.mean_batch - 3.0).abs() < 1e-12);
         assert_eq!(s.p50_us, 20);
         let json = s.to_json();
         assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
         assert!(json.contains("\"completed\":3"), "{json}");
+        assert!(json.contains("\"expired\":1"), "{json}");
+    }
+
+    #[test]
+    fn in_flight_tracks_unanswered_submissions() {
+        let inner = StatsInner::default();
+        inner.note_submit();
+        inner.note_submit();
+        assert_eq!(inner.in_flight(), 2);
+        inner.note_done(5);
+        assert_eq!(inner.in_flight(), 1);
+        inner.note_expired();
+        assert_eq!(inner.in_flight(), 0);
     }
 }

@@ -7,7 +7,7 @@ use std::time::{Duration, Instant};
 
 use msd_nn::{Ctx, Linear, Model, ModelOutput, ParamStore, Task};
 use msd_serve::loadgen::{run_open_loop, sequential_baseline, LoadSpec};
-use msd_serve::{ServeConfig, ServeError, Server};
+use msd_serve::{Chaos, FaultPlan, ServeConfig, ServeError, Server};
 use msd_tensor::rng::Rng;
 use msd_tensor::Tensor;
 
@@ -183,8 +183,11 @@ fn full_queue_rejects_with_typed_overload_error() {
     }
     let stats = server.shutdown();
     assert_eq!(stats.rejected, rejections as u64);
-    assert_eq!(stats.submitted, 200 - rejections as u64);
-    assert_eq!(stats.completed, stats.submitted);
+    // `submitted` counts every attempt, rejected or admitted, so the
+    // terminal ledger balances by construction.
+    assert_eq!(stats.submitted, 200);
+    assert_eq!(stats.completed, stats.submitted - stats.rejected);
+    assert!(stats.ledger_balanced(), "{stats:?}");
 }
 
 #[test]
@@ -350,6 +353,152 @@ fn shape_change_seed_keeps_its_admission_deadline() {
 }
 
 #[test]
+fn expired_requests_are_shed_with_a_typed_deadline_error() {
+    // A gated sole worker wedges the pipeline; requests submitted with an
+    // already-short deadline must come back `DeadlineExceeded` from the
+    // batcher's shed path — typed, counted, and without waiting for the
+    // worker — while the healthy request completes once the gate opens.
+    let gate = Arc::new((Mutex::new(false), Condvar::new()));
+    let mut store = ParamStore::new();
+    let model = Gated {
+        inner: Affine::new(&mut store, 2, 6),
+        gate: gate.clone(),
+    };
+    let server = Server::start(
+        model,
+        store,
+        ServeConfig {
+            max_batch: 1,
+            max_wait: Duration::ZERO,
+            workers: 1,
+            use_plans: false, // keep the gate on the hot path
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    // Occupies the worker (and then some): batches queue behind the gate.
+    let healthy = server.submit(sample(2, 6, 1)).unwrap();
+    std::thread::sleep(Duration::from_millis(30));
+    // Deadline already in the past at submission: sheddable on arrival.
+    let doomed: Vec<_> = (0..4)
+        .map(|i| {
+            server
+                .submit_with_deadline(sample(2, 6, 10 + i), Some(Instant::now()))
+                .unwrap()
+        })
+        .collect();
+    let shed_started = Instant::now();
+    for p in doomed {
+        match p.wait() {
+            Err(ServeError::DeadlineExceeded) => {}
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+    }
+    assert!(
+        shed_started.elapsed() < Duration::from_secs(2),
+        "shedding must not wait out the wedged worker"
+    );
+    {
+        let (lock, cv) = &*gate;
+        *lock.lock().unwrap() = true;
+        cv.notify_all();
+    }
+    healthy.wait().expect("healthy request survives");
+    let stats = server.shutdown();
+    assert_eq!(stats.expired, 4, "{stats:?}");
+    assert_eq!(stats.completed, 1);
+    assert!(stats.ledger_balanced(), "{stats:?}");
+}
+
+#[test]
+fn wait_timeout_reports_a_stalled_worker_without_consuming_the_answer() {
+    let gate = Arc::new((Mutex::new(false), Condvar::new()));
+    let mut store = ParamStore::new();
+    let model = Gated {
+        inner: Affine::new(&mut store, 2, 6),
+        gate: gate.clone(),
+    };
+    let server = Server::start(
+        model,
+        store,
+        ServeConfig {
+            max_batch: 1,
+            max_wait: Duration::ZERO,
+            workers: 1,
+            use_plans: false,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let mut pending = server.submit(sample(2, 6, 1)).unwrap();
+    // The worker is parked on the gate: bounded waits report "not yet"
+    // (None) and can be repeated — a timeout must not eat the answer.
+    assert!(pending.wait_timeout(Duration::from_millis(40)).is_none());
+    assert!(pending.wait_timeout(Duration::from_millis(40)).is_none());
+    {
+        let (lock, cv) = &*gate;
+        *lock.lock().unwrap() = true;
+        cv.notify_all();
+    }
+    match pending.wait_timeout(Duration::from_secs(5)) {
+        Some(Ok(_)) => {}
+        other => panic!("expected the answer after the gate opened, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn chaos_schedules_replay_bit_identically_for_the_same_seed() {
+    // Two fresh servers under the same fault plan, driven with the same
+    // sequential request stream, must produce identical outcomes per
+    // request, identical fired-fault logs, balanced ledgers, and
+    // bit-identical successful responses.
+    let plan = FaultPlan::parse("seed:42,worker_panic:0.25,worker_stall:0.1,worker_stall_ms:5")
+        .unwrap();
+    let run = |plan: FaultPlan| {
+        let mut store = ParamStore::new();
+        let model = Affine::new(&mut store, 2, 6);
+        let chaos = Arc::new(Chaos::new(plan));
+        let server = Server::start(
+            model,
+            store,
+            ServeConfig {
+                max_batch: 1,
+                max_wait: Duration::ZERO,
+                workers: 1, // one worker + sequential driving = total order
+                chaos: Some(chaos.clone()),
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let mut outcomes: Vec<Result<Vec<u32>, String>> = Vec::new();
+        for i in 0..60u64 {
+            let r = server.submit(sample(2, 6, i)).unwrap().wait();
+            outcomes.push(match r {
+                Ok(y) => Ok(y.data().iter().map(|v| v.to_bits()).collect()),
+                Err(e) => Err(format!("{e:?}")),
+            });
+        }
+        let stats = server.shutdown();
+        assert!(stats.ledger_balanced(), "{stats:?}");
+        assert_eq!(stats.completed + stats.failed, 60, "no hung request");
+        (outcomes, chaos.fired())
+    };
+    let (outcomes_a, fired_a) = run(plan.clone());
+    let (outcomes_b, fired_b) = run(plan);
+    assert!(
+        outcomes_a.iter().any(|o| o.is_err()),
+        "a 25% panic rate over 60 requests must inject something"
+    );
+    assert!(
+        outcomes_a.iter().any(|o| o.is_ok()),
+        "some requests must survive"
+    );
+    assert_eq!(outcomes_a, outcomes_b, "same seed, different outcomes");
+    assert_eq!(fired_a, fired_b, "same seed, different fault schedule");
+}
+
+#[test]
 fn shutdown_drains_every_in_flight_request() {
     let mut store = ParamStore::new();
     let model = Affine::new(&mut store, 2, 6);
@@ -406,6 +555,7 @@ fn smoke_1k_mixed_shape_requests_zero_lost_zero_corrupted() {
             workers: 4,
             events_path: Some(events.clone()),
             use_plans: true,
+            ..ServeConfig::default()
         },
     )
     .unwrap();

@@ -178,3 +178,38 @@ if grep -qE '"lost":[1-9]' target/BENCH_gateway.json; then
   echo "gateway smoke lost requests" >&2; exit 1
 fi
 echo "gateway smoke OK: report in target/BENCH_gateway.json"
+
+# Chaos smoke: the same real-gateway drill under a seeded deterministic
+# fault plan (worker panics, worker stalls, connection drops). The load
+# generator retries with a budget of 3, tags every request with a deadline,
+# tolerates only the *typed* degradation statuses {429, 500, 503, 504},
+# and closes by asserting every replica's request ledger balances
+# (completed + failed + rejected + expired == submitted) via GET /stats.
+# Lost requests, byte mismatches, or an untyped status remain fatal — the
+# fault plan may cost latency and retries, never answers. Fired faults are
+# appended to target/chaos-events.jsonl (CI artifact); rows written by this
+# sweep carry the fault plan in their "fault_plan" column so a chaos run
+# can never be compared against a clean baseline by accident.
+rm -f target/gw-chaos.addr target/chaos-events.jsonl
+MSD_CHAOS="seed:42,worker_panic:0.02,worker_stall:0.02,worker_stall_ms:40,conn_drop:0.02" \
+MSD_CHAOS_LOG=target/chaos-events.jsonl \
+cargo run --release --offline -p msd-harness --bin msd-gateway -- \
+  --demo --addr-file target/gw-chaos.addr --replicas 2 --run-secs 120 &
+GW_PID=$!
+trap 'kill "$GW_PID" 2>/dev/null || true' EXIT
+for _ in $(seq 1 200); do [ -f target/gw-chaos.addr ] && break; sleep 0.1; done
+test -f target/gw-chaos.addr || { echo "chaos gateway never published its address" >&2; exit 1; }
+MSD_CHAOS="seed:42,worker_panic:0.02,worker_stall:0.02,worker_stall_ms:40,conn_drop:0.02" \
+cargo run --release --offline -p msd-harness --bin msd-gateway-loadgen -- \
+  --target "$(cat target/gw-chaos.addr)" --requests 500 --connections 4 \
+  --retry-budget 3 --deadline-ms 2000 --tolerate-faults --check-ledger
+kill "$GW_PID" 2>/dev/null || true
+wait "$GW_PID" 2>/dev/null || true
+trap - EXIT
+test -s target/chaos-events.jsonl || {
+  echo "chaos smoke fired no faults (plan not armed?)" >&2; exit 1;
+}
+if grep -qE '"lost":[1-9]' target/BENCH_gateway.json; then
+  echo "chaos smoke lost requests" >&2; exit 1
+fi
+echo "chaos smoke OK: fired $(grep -c '^{.*}$' target/chaos-events.jsonl) faults, zero lost"
