@@ -33,12 +33,12 @@
 
 use std::fmt;
 
-use msd_tensor::ops::kernels::{ew, norm, reduce as kred};
+use msd_tensor::ops::kernels::{ew, norm, quant, reduce as kred};
 use msd_tensor::ops::{
     concat_into, linear_into, matmul_nn_into, narrow_into, pad_axis_into, permute_into,
     sum_axis_into,
 };
-use msd_tensor::Tensor;
+use msd_tensor::{QuantView, Tensor};
 
 use crate::graph::{Graph, Op};
 use crate::{ParamId, Var};
@@ -51,6 +51,15 @@ const ALIGN: usize = 16;
 pub trait ParamSource {
     /// The current value of parameter `id`.
     fn param_value(&self, id: ParamId) -> &Tensor;
+
+    /// The int8-quantized form of parameter `id`, when the source was loaded
+    /// from an int8-tier artifact. Plans lowered with
+    /// [`CompiledPlan::lower_int8`] read weights through this instead of
+    /// [`param_value`](Self::param_value). The default (`None`) keeps plain
+    /// f32 sources working unchanged.
+    fn quant_param(&self, _id: ParamId) -> Option<QuantView<'_>> {
+        None
+    }
 }
 
 /// Why a trace could not be compiled into a plan. A compile failure is
@@ -202,6 +211,9 @@ struct Step {
     root: Root,
     /// Step-local scratch regions `(off, len)` filled in by the allocator.
     scratch: Vec<(usize, usize)>,
+    /// Set by [`CompiledPlan::lower_int8`]: run this step's matmuls on the
+    /// int8 kernels, reading weights via [`ParamSource::quant_param`].
+    int8: bool,
 }
 
 fn blank_root() -> Root {
@@ -470,6 +482,7 @@ impl CompiledPlan {
                 shape: out_shape,
                 root: blank_root(),
                 scratch: Vec::new(),
+                int8: false,
             });
         }
 
@@ -620,6 +633,50 @@ impl CompiledPlan {
         &self.fusions
     }
 
+    /// Lowers matmul steps onto the int8 kernels wherever the parameter
+    /// source carries quantized weights, returning how many steps were
+    /// lowered. Called *after* compilation (which always traces and
+    /// bit-verifies at f32) by callers serving an int8-tier artifact.
+    ///
+    /// A step is lowered only when every weight it multiplies by is a
+    /// plan parameter with an int8 form of the exact on-tape shape and
+    /// within the exact-accumulation bound; anything else keeps the f32
+    /// kernel. Activations are quantized dynamically per row at execute
+    /// time, so lowering is batch-composition-invariant. Lowered steps read
+    /// weights through [`ParamSource::quant_param`] on every execute — if a
+    /// later source stops providing quant data the step falls back to f32.
+    pub fn lower_int8(&mut self, params: &dyn ParamSource) -> usize {
+        let w_ok = |src: &Src| match src {
+            Src::Param(id) => params
+                .quant_param(*id)
+                .is_some_and(|q| q.shape.len() == 2 && q.shape[0] <= quant::I8_MAX_IN_DIM),
+            _ => false,
+        };
+        let mut lowered = 0;
+        for step in &mut self.steps {
+            let ok = match &step.kind {
+                PKind::Linear | PKind::LinearGelu => w_ok(&step.srcs[1]),
+                PKind::Mlp { w2_at, .. } => w_ok(&step.srcs[1]) && w_ok(&step.srcs[*w2_at]),
+                _ => false,
+            };
+            if ok {
+                step.int8 = true;
+                lowered += 1;
+            }
+        }
+        lowered
+    }
+
+    /// Total kernel steps in the plan.
+    pub fn steps(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// How many steps are currently lowered onto the int8 kernels.
+    pub fn int8_steps(&self) -> usize {
+        self.steps.iter().filter(|s| s.int8).count()
+    }
+
     /// Multi-line description of the plan: ordered ops, fusions chosen, and
     /// arena size. Stable enough to diff in review.
     pub fn describe(&self) -> String {
@@ -637,9 +694,10 @@ impl CompiledPlan {
                 })
                 .collect();
             let alias = if matches!(step.kind, PKind::Reshape) { "  [alias]" } else { "" };
+            let precision = if step.int8 { "  [int8]" } else { "" };
             let _ = writeln!(
                 s,
-                "  %{i:<3} = {:<14} ({}) -> {:?}{alias}",
+                "  %{i:<3} = {:<14} ({}) -> {:?}{alias}{precision}",
                 step.kind.name(),
                 srcs.join(", "),
                 step.shape,
@@ -755,16 +813,28 @@ impl CompiledPlan {
                     let (ws, w) = src_view(step.srcs[1]);
                     let bias = step.srcs.get(2).map(|&s| src_view(s).1);
                     let (in_dim, out_dim) = (ws[0], ws[1]);
-                    linear_into(x, x.len() / in_dim, in_dim, w, out_dim, bias, out);
+                    if let Some(qw) = step.int8.then(|| quant_src(params, step.srcs[1])).flatten()
+                    {
+                        quant::linear_i8_into(x, x.len() / in_dim, in_dim, qw, bias, false, out);
+                    } else {
+                        linear_into(x, x.len() / in_dim, in_dim, w, out_dim, bias, out);
+                    }
                 }
                 PKind::LinearGelu => {
                     let x = src_view(step.srcs[0]).1;
                     let (ws, w) = src_view(step.srcs[1]);
                     let bias = step.srcs.get(2).map(|&s| src_view(s).1);
                     let (in_dim, out_dim) = (ws[0], ws[1]);
-                    let pre = step_scratch(base, step, 0);
-                    linear_into(x, x.len() / in_dim, in_dim, w, out_dim, bias, pre);
-                    ew::gelu(pre, out);
+                    if let Some(qw) = step.int8.then(|| quant_src(params, step.srcs[1])).flatten()
+                    {
+                        // The int8 epilogue fuses bias + GELU, so the
+                        // pre-activation scratch is bypassed entirely.
+                        quant::linear_i8_into(x, x.len() / in_dim, in_dim, qw, bias, true, out);
+                    } else {
+                        let pre = step_scratch(base, step, 0);
+                        linear_into(x, x.len() / in_dim, in_dim, w, out_dim, bias, pre);
+                        ew::gelu(pre, out);
+                    }
                 }
                 PKind::Mlp { w2_at, hidden } => {
                     let x = src_view(step.srcs[0]).1;
@@ -776,9 +846,16 @@ impl CompiledPlan {
                     let rows = x.len() / in_dim;
                     let pre = step_scratch(base, step, 0);
                     let h = step_scratch(base, step, 1);
-                    linear_into(x, rows, in_dim, w1, *hidden, b1, pre);
-                    ew::gelu(pre, h);
-                    linear_into(h, rows, *hidden, w2, w2s[1], b2, out);
+                    let q1 = step.int8.then(|| quant_src(params, step.srcs[1])).flatten();
+                    let q2 = step.int8.then(|| quant_src(params, step.srcs[*w2_at])).flatten();
+                    if let (Some(qw1), Some(qw2)) = (q1, q2) {
+                        quant::linear_i8_into(x, rows, in_dim, qw1, b1, true, h);
+                        quant::linear_i8_into(h, rows, *hidden, qw2, b2, false, out);
+                    } else {
+                        linear_into(x, rows, in_dim, w1, *hidden, b1, pre);
+                        ew::gelu(pre, h);
+                        linear_into(h, rows, *hidden, w2, w2s[1], b2, out);
+                    }
                 }
                 PKind::Matmul => {
                     let (a_s, a) = src_view(step.srcs[0]);
@@ -900,6 +977,15 @@ fn step_scratch<'a>(base: *mut f32, step: &Step, slot: usize) -> &'a mut [f32] {
     unsafe { std::slice::from_raw_parts_mut(base.add(off), len) }
 }
 
+/// The quantized view of a weight source, when the source is a parameter
+/// the [`ParamSource`] holds int8 data for.
+fn quant_src(params: &dyn ParamSource, src: Src) -> Option<QuantView<'_>> {
+    match src {
+        Src::Param(id) => params.quant_param(id),
+        _ => None,
+    }
+}
+
 /// Walks reshape alias chains down to the owning source: either an
 /// arena-owning (non-reshape) step or an external input/param/const.
 fn alias_owner(steps: &[Step], mut i: usize) -> Src {
@@ -976,7 +1062,14 @@ fn fuse(steps: Vec<Step>, out_src: Src) -> (Vec<Step>, Src, Vec<String>) {
         let srcs = si.srcs.clone();
         let shape = sj.shape.clone();
         fusions.push(format!("Linear(%{i}) + Gelu(%{j}) -> LinearGelu"));
-        steps[j] = Some(Step { kind: PKind::LinearGelu, srcs, shape, root: blank_root(), scratch: Vec::new() });
+        steps[j] = Some(Step {
+            kind: PKind::LinearGelu,
+            srcs,
+            shape,
+            root: blank_root(),
+            scratch: Vec::new(),
+            int8: false,
+        });
         steps[i] = None;
     }
 
@@ -1004,6 +1097,7 @@ fn fuse(steps: Vec<Step>, out_src: Src) -> (Vec<Step>, Src, Vec<String>) {
             shape,
             root: blank_root(),
             scratch: Vec::new(),
+            int8: false,
         });
         steps[i] = None;
     }

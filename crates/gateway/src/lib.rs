@@ -29,9 +29,15 @@
 //! |---|---|---|
 //! | `GET /healthz` | — | `200` `{"status":"ok",...}` |
 //! | `GET /stats` | — | `200` per-model [`msd_serve::ServeStats`] JSON |
-//! | `GET /v1/models` | — | `200` name/version/replica listing |
-//! | `POST /v1/models/{m}/predict` | [`wire`] tensor frame | `200` frame + version/replica headers |
-//! | `POST /v1/models/{m}/swap` | `msd_nn::store` blob | `200` `{"model":...,"version":n}` |
+//! | `GET /v1/models` | — | `200` name/version/tier listing |
+//! | `POST /v1/models/{m}/predict` | [`wire`] tensor frame | `200` frame + version/replica/tier headers |
+//! | `POST /v1/models/{m}/swap` | `msd_nn` artifact blob | `200` `{"model":...,"version":n,"tier":...}` |
+//!
+//! Artifacts carry a precision tier (`f32`, `f16`, or `int8` — see
+//! `msd_nn::artifact`); predict responses echo the serving tier in
+//! `X-Msd-Tier`, and a swap request may declare the tier it expects with an
+//! `X-Msd-Tier` header — a mismatching or unknown tier is a typed `400`,
+//! never a silent fall back to another precision.
 //!
 //! Predict errors map to `400` (bad frame), `404` (unknown model), `429`
 //! (overloaded or brownout, with `Retry-After`), `500` (worker panic),
@@ -359,10 +365,12 @@ pub fn handle_request(registry: &Registry, req: &Request) -> Response {
         ("GET", "/v1/models") => {
             let mut rows = Vec::new();
             for name in registry.names() {
-                if let Ok(version) = registry.version(&name) {
+                if let Ok(set) = registry.current_set(&name) {
                     rows.push(format!(
-                        "{{\"name\":\"{}\",\"version\":{version}}}",
-                        json_escape(&name)
+                        "{{\"name\":\"{}\",\"version\":{},\"tier\":\"{}\"}}",
+                        json_escape(&name),
+                        set.version,
+                        set.tier
                     ));
                 }
             }
@@ -435,6 +443,8 @@ fn predict(registry: &Registry, name: &str, req: &Request) -> Response {
                 .push(("X-Msd-Model-Version".into(), ok.version.to_string()));
             resp.headers
                 .push(("X-Msd-Replica".into(), ok.replica.to_string()));
+            resp.headers
+                .push(("X-Msd-Tier".into(), ok.tier.as_str().into()));
             resp
         }
         Err(GatewayError::UnknownModel(name)) => {
@@ -456,14 +466,36 @@ fn predict(registry: &Registry, name: &str, req: &Request) -> Response {
 }
 
 fn swap(registry: &Registry, name: &str, req: &Request) -> Response {
-    match registry.swap(name, &req.body) {
-        Ok(version) => Response::json(
-            200,
-            format!(
-                "{{\"model\":\"{}\",\"version\":{version}}}",
-                json_escape(name)
-            ),
-        ),
+    // An X-Msd-Tier request header declares the precision tier the client
+    // expects the new artifact to carry. Unknown tier names are a typed 400
+    // up front; a well-formed expectation that the artifact fails to meet is
+    // rejected by the registry (also a 400) — never a silent f32 fallback.
+    let expect = match req.header("x-msd-tier") {
+        None => None,
+        Some(v) => match msd_nn::PrecisionTier::parse(v) {
+            Some(t) => Some(t),
+            None => {
+                return error_response(
+                    400,
+                    &format!("unknown tier {v:?} (expected f32, f16, or int8)"),
+                )
+            }
+        },
+    };
+    match registry.swap_tiered(name, &req.body, expect) {
+        Ok(version) => {
+            let tier = registry
+                .tier(name)
+                .map(|t| t.as_str())
+                .unwrap_or("f32");
+            Response::json(
+                200,
+                format!(
+                    "{{\"model\":\"{}\",\"version\":{version},\"tier\":\"{tier}\"}}",
+                    json_escape(name)
+                ),
+            )
+        }
         Err(e) if e.kind() == io::ErrorKind::NotFound => {
             error_response(404, &format!("unknown model {name:?}"))
         }

@@ -108,6 +108,8 @@ pub struct TcpResponse {
     pub version: Option<u32>,
     /// `X-Msd-Replica` header, when present.
     pub replica: Option<usize>,
+    /// `X-Msd-Tier` header, when present (the serving precision tier).
+    pub tier: Option<String>,
     /// Response body bytes, untouched.
     pub body: Vec<u8>,
     /// Request latency (write first byte → last body byte), microseconds.
@@ -299,6 +301,7 @@ fn drive_one(
                     status: r.status,
                     version: r.header("x-msd-model-version").and_then(|v| v.parse().ok()),
                     replica: r.header("x-msd-replica").and_then(|v| v.parse().ok()),
+                    tier: r.header("x-msd-tier").map(str::to_string),
                     body: r.body,
                     latency_us: sent.elapsed().as_micros() as u64,
                     attempts: attempt,
@@ -447,6 +450,7 @@ mod tests {
                     status: 200,
                     version: Some(1),
                     replica: Some(0),
+                    tier: Some("f32".to_string()),
                     body: vec![1, 2],
                     latency_us: 120,
                     attempts: 2,
@@ -455,6 +459,7 @@ mod tests {
                     status: 429,
                     version: None,
                     replica: None,
+                    tier: None,
                     body: vec![],
                     latency_us: 15,
                     attempts: 1,

@@ -31,7 +31,7 @@ use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
-use msd_nn::{DynModel, ParamStore};
+use msd_nn::{DynModel, ParamStore, PrecisionTier};
 use msd_serve::{ServeConfig, ServeError, ServeStats, Server};
 use msd_tensor::Tensor;
 
@@ -50,6 +50,9 @@ pub type ModelFactory = Box<dyn Fn() -> (DynModel, ParamStore) + Send + Sync>;
 pub struct ReplicaSet {
     /// Monotonic version number, starting at 1 for the registered model.
     pub version: u32,
+    /// Precision tier of the published parameters (from the artifact's
+    /// declared tier; `F32` when serving the factory's initial values).
+    pub tier: PrecisionTier,
     servers: Vec<Server>,
     /// One health record per replica. A freshly published version starts
     /// with every breaker CLOSED: new parameters mean the old error
@@ -93,6 +96,8 @@ pub struct PredictOk {
     pub y: Tensor,
     /// Version that admitted (and answered) the request.
     pub version: u32,
+    /// Precision tier of the version that answered.
+    pub tier: PrecisionTier,
     /// Replica index the router chose.
     pub replica: usize,
 }
@@ -200,21 +205,47 @@ impl Registry {
         }
     }
 
-    fn build_set(&self, factory: &ModelFactory, params: Option<&[u8]>, version: u32) -> io::Result<ReplicaSet> {
+    fn build_set(
+        &self,
+        factory: &ModelFactory,
+        params: Option<&[u8]>,
+        expect: Option<PrecisionTier>,
+        version: u32,
+    ) -> io::Result<ReplicaSet> {
         let mut servers = Vec::with_capacity(self.replicas);
         let mut health = Vec::with_capacity(self.replicas);
-        for _ in 0..self.replicas {
+        let mut tier = PrecisionTier::F32;
+        for i in 0..self.replicas {
             let (model, mut store) = factory();
             if let Some(bytes) = params {
                 // Validates names/shapes against the factory-built store and
                 // commits all-or-nothing; a bad blob aborts the whole build.
+                // Decoding also installs the artifact's precision tier (and
+                // quant tables) into the store, which serving lowers onto.
                 msd_nn::store::decode(&mut store, bytes)?;
+            }
+            if i == 0 {
+                // Every replica decodes the same bytes, so the first store's
+                // tier speaks for the set. A declared expectation must match
+                // exactly — never a silent fallback to another tier.
+                tier = store.tier();
+                if let Some(want) = expect {
+                    if tier != want {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!(
+                                "precision tier mismatch: request declared {want}, artifact is {tier}"
+                            ),
+                        ));
+                    }
+                }
             }
             servers.push(Server::start(model, store, self.serve_cfg.clone())?);
             health.push(Arc::new(ReplicaHealth::new(self.breaker.clone())));
         }
         Ok(ReplicaSet {
             version,
+            tier,
             servers,
             health,
         })
@@ -227,6 +258,19 @@ impl Registry {
     /// Fails with `AlreadyExists` if the name is taken — use
     /// [`Registry::swap`] to replace a live model.
     pub fn register(&self, name: &str, factory: ModelFactory, params: Option<&[u8]>) -> io::Result<u32> {
+        self.register_tiered(name, factory, params, None)
+    }
+
+    /// [`Registry::register`] with a declared precision-tier expectation:
+    /// the build fails (`InvalidData`) unless the decoded artifact's tier is
+    /// exactly `expect`. `None` accepts whatever tier the artifact carries.
+    pub fn register_tiered(
+        &self,
+        name: &str,
+        factory: ModelFactory,
+        params: Option<&[u8]>,
+        expect: Option<PrecisionTier>,
+    ) -> io::Result<u32> {
         let mut models = self.models.write().unwrap_or_else(|p| p.into_inner());
         if models.contains_key(name) {
             return Err(io::Error::new(
@@ -234,7 +278,7 @@ impl Registry {
                 format!("model {name:?} is already registered"),
             ));
         }
-        let set = self.build_set(&factory, params, 1)?;
+        let set = self.build_set(&factory, params, expect, 1)?;
         models.insert(
             name.to_string(),
             Arc::new(Entry {
@@ -263,11 +307,23 @@ impl Registry {
     /// drop across the publish — in-flight requests complete against the
     /// version that admitted them.
     pub fn swap(&self, name: &str, params: &[u8]) -> io::Result<u32> {
+        self.swap_tiered(name, params, None)
+    }
+
+    /// [`Registry::swap`] with a declared precision-tier expectation: the
+    /// swap is rejected (`InvalidData`, old version untouched) unless the
+    /// new artifact's tier is exactly `expect`. `None` accepts any tier.
+    pub fn swap_tiered(
+        &self,
+        name: &str,
+        params: &[u8],
+        expect: Option<PrecisionTier>,
+    ) -> io::Result<u32> {
         let entry = self
             .entry(name)
             .map_err(|e| io::Error::new(io::ErrorKind::NotFound, e.to_string()))?;
         let version = entry.next_version.fetch_add(1, Ordering::Relaxed);
-        let set = Arc::new(self.build_set(&entry.factory, Some(params), version)?);
+        let set = Arc::new(self.build_set(&entry.factory, Some(params), expect, version)?);
         let old = {
             let mut current = entry.current.lock().unwrap_or_else(|p| p.into_inner());
             std::mem::replace(&mut *current, set)
@@ -371,6 +427,7 @@ impl Registry {
                 Ok(PredictOk {
                     y,
                     version: set.version,
+                    tier: set.tier,
                     replica,
                 })
             }
@@ -426,17 +483,19 @@ impl Registry {
 
     /// The live version number of `name`.
     pub fn version(&self, name: &str) -> Result<u32, GatewayError> {
-        let entry = self.entry(name)?;
-        let set = entry
-            .current
-            .lock()
-            .unwrap_or_else(|p| p.into_inner())
-            .clone();
-        Ok(set.version)
+        Ok(self.current_set(name)?.version)
+    }
+
+    /// The live precision tier of `name`.
+    pub fn tier(&self, name: &str) -> Result<PrecisionTier, GatewayError> {
+        Ok(self.current_set(name)?.tier)
     }
 
     /// Per-model, per-replica stats as one JSON object:
-    /// `{"models":[{"model":...,"version":...,"submitted":...,"replicas":[...]}]}`.
+    /// `{"models":[{"model":...,"version":...,"tier":...,"submitted":...,
+    /// "replicas":[...]}],"tiers":[{"tier":...,"models":...,...}]}` — the
+    /// trailing `tiers` array aggregates serve counters over every model
+    /// published at that precision tier.
     pub fn stats_json(&self) -> String {
         let entries: Vec<(String, Arc<ReplicaSet>)> = {
             let models = self.models.read().unwrap_or_else(|p| p.into_inner());
@@ -450,6 +509,9 @@ impl Registry {
                 })
                 .collect()
         };
+        // Aggregate counters per precision tier while walking the models:
+        // [tier, models, submitted, completed, rejected, failed, expired].
+        let mut tier_rows: BTreeMap<&'static str, [u64; 6]> = BTreeMap::new();
         let mut s = String::from("{\"models\":[");
         for (i, (name, set)) in entries.iter().enumerate() {
             if i > 0 {
@@ -465,12 +527,20 @@ impl Registry {
                 failed += st.failed;
                 expired += st.expired;
             }
+            let row = tier_rows.entry(set.tier.as_str()).or_insert([0; 6]);
+            for (slot, v) in [1, submitted, completed, rejected, failed, expired]
+                .into_iter()
+                .enumerate()
+            {
+                row[slot] += v;
+            }
             let _ = write!(
                 s,
-                "{{\"model\":\"{}\",\"version\":{},\"submitted\":{},\"completed\":{},\
-                 \"rejected\":{},\"failed\":{},\"expired\":{},\"replicas\":[",
+                "{{\"model\":\"{}\",\"version\":{},\"tier\":\"{}\",\"submitted\":{},\
+                 \"completed\":{},\"rejected\":{},\"failed\":{},\"expired\":{},\"replicas\":[",
                 json_escape(name),
                 set.version,
+                set.tier,
                 submitted,
                 completed,
                 rejected,
@@ -496,6 +566,18 @@ impl Registry {
                 s.push_str(&obj);
             }
             s.push_str("]}");
+        }
+        s.push_str("],\"tiers\":[");
+        for (i, (tier, row)) in tier_rows.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"tier\":\"{tier}\",\"models\":{},\"submitted\":{},\"completed\":{},\
+                 \"rejected\":{},\"failed\":{},\"expired\":{}}}",
+                row[0], row[1], row[2], row[3], row[4], row[5]
+            );
         }
         s.push_str("]}");
         s

@@ -155,7 +155,7 @@ fn endpoints_answer_and_predictions_are_bit_identical_to_sequential() {
     assert_eq!(listing.status, 200);
     let listing_body = String::from_utf8(listing.body).unwrap();
     assert!(
-        listing_body.contains("{\"name\":\"fc\",\"version\":1}"),
+        listing_body.contains("{\"name\":\"fc\",\"version\":1,\"tier\":\"f32\"}"),
         "{listing_body}"
     );
 
@@ -470,5 +470,139 @@ fn hot_swap_under_sustained_load_is_lossless_and_byte_identical() {
         seen[0] > 0 && seen[1] > 0,
         "both versions must serve real traffic, saw {seen:?}"
     );
+    gw.shutdown();
+}
+
+/// An encoded Affine parameter blob at an explicit precision tier.
+fn tiered_blob(seed: u64, tier: msd_nn::PrecisionTier) -> Vec<u8> {
+    let mut store = ParamStore::new();
+    let _ = Affine::new(&mut store, seed);
+    msd_nn::ArtifactWriter::new(tier)
+        .encode(&store)
+        .expect("affine weights are finite")
+}
+
+/// Sequential reference for the Affine version at `seed` served from a
+/// `tier` artifact: predict on the round-tripped store for f32/f16 (plans
+/// are bit-identical to predict), a lowered plan for int8 (bit-identical
+/// across kernel tiers, thread counts, and batch compositions).
+fn tiered_reference(seed: u64, tier: msd_nn::PrecisionTier, x: &Tensor) -> Tensor {
+    let mut store = ParamStore::new();
+    let model = Affine::new(&mut store, seed);
+    msd_nn::ArtifactReader::decode(&tiered_blob(seed, tier))
+        .and_then(|r| r.load_into(&mut store))
+        .unwrap();
+    match tier {
+        msd_nn::PrecisionTier::Int8 => {
+            let mut plan = model.compile_plan(&store, x.shape()).unwrap();
+            assert!(plan.lower_int8(&store) > 0, "affine must lower to int8");
+            model.predict_plan(&plan, &store, x, &mut msd_autograd::PlanArena::new())
+        }
+        _ => model.predict(&store, x),
+    }
+}
+
+#[test]
+fn quantized_tiers_round_the_gateway_with_no_silent_fallback() {
+    use msd_nn::PrecisionTier;
+
+    let gw = Gateway::bind("127.0.0.1:0", quick_cfg(2)).unwrap();
+    gw.registry()
+        .register_tiered(
+            "fc",
+            affine_factory(11),
+            Some(&tiered_blob(11, PrecisionTier::Int8)),
+            Some(PrecisionTier::Int8),
+        )
+        .unwrap();
+    let addr = gw.local_addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+
+    // The listing declares the serving tier.
+    let listing = client.request("GET", "/v1/models", &[], b"").unwrap();
+    let listing_body = String::from_utf8(listing.body).unwrap();
+    assert!(
+        listing_body.contains("{\"name\":\"fc\",\"version\":1,\"tier\":\"int8\"}"),
+        "{listing_body}"
+    );
+
+    // Predictions echo the tier and match the lowered-plan reference bits.
+    for i in 0..6u64 {
+        let x = sample(700 + i);
+        let resp = client
+            .request("POST", "/v1/models/fc/predict", &[], &wire::encode_tensor(&x))
+            .unwrap();
+        assert_eq!(resp.status, 200, "{:?}", String::from_utf8_lossy(&resp.body));
+        assert_eq!(resp.header("x-msd-tier"), Some("int8"));
+        assert_bits_equal(
+            &wire::decode_tensor(&resp.body).unwrap(),
+            &tiered_reference(11, PrecisionTier::Int8, &x),
+            &format!("int8 req {i}"),
+        );
+    }
+
+    // Stats carry the per-model tier and the per-tier aggregate.
+    let stats = client.request("GET", "/stats", &[], b"").unwrap();
+    let stats_body = String::from_utf8(stats.body).unwrap();
+    assert!(stats_body.contains("\"tier\":\"int8\""), "{stats_body}");
+    assert!(stats_body.contains("\"tiers\":[{\"tier\":\"int8\",\"models\":1"), "{stats_body}");
+
+    // An unknown tier name on swap is a typed 400 before the blob is read.
+    let r = client
+        .request(
+            "POST",
+            "/v1/models/fc/swap",
+            &[("X-Msd-Tier", "bf16")],
+            &tiered_blob(31, PrecisionTier::F16),
+        )
+        .unwrap();
+    assert_eq!(r.status, 400);
+    let body = String::from_utf8(r.body).unwrap();
+    assert!(body.contains("unknown tier"), "{body}");
+
+    // A declared tier the artifact does not carry is rejected — the old
+    // int8 version keeps serving, never a silent fallback.
+    let r = client
+        .request(
+            "POST",
+            "/v1/models/fc/swap",
+            &[("X-Msd-Tier", "f16")],
+            &params_blob(31),
+        )
+        .unwrap();
+    assert_eq!(r.status, 400);
+    let body = String::from_utf8(r.body).unwrap();
+    assert!(body.contains("precision tier mismatch"), "{body}");
+    let x = sample(900);
+    let r = client
+        .request("POST", "/v1/models/fc/predict", &[], &wire::encode_tensor(&x))
+        .unwrap();
+    assert_eq!(r.status, 200);
+    assert_eq!(r.header("x-msd-tier"), Some("int8"));
+    assert_eq!(r.header("x-msd-model-version"), Some("1"));
+
+    // A matching declared tier swaps cleanly and the tier follows.
+    let r = client
+        .request(
+            "POST",
+            "/v1/models/fc/swap",
+            &[("X-Msd-Tier", "f16")],
+            &tiered_blob(31, PrecisionTier::F16),
+        )
+        .unwrap();
+    assert_eq!(r.status, 200, "{:?}", String::from_utf8_lossy(&r.body));
+    let body = String::from_utf8(r.body).unwrap();
+    assert!(body.contains("\"tier\":\"f16\""), "{body}");
+    let r = client
+        .request("POST", "/v1/models/fc/predict", &[], &wire::encode_tensor(&x))
+        .unwrap();
+    assert_eq!(r.status, 200);
+    assert_eq!(r.header("x-msd-tier"), Some("f16"));
+    assert_bits_equal(
+        &wire::decode_tensor(&r.body).unwrap(),
+        &tiered_reference(31, PrecisionTier::F16, &x),
+        "post-tier-swap",
+    );
+
     gw.shutdown();
 }

@@ -312,12 +312,14 @@ fn run_case_study(scale: Scale) {
 
 /// Compiles every task-general model into an inference plan for a small
 /// forecasting shape and dumps the plan: ordered kernel steps, fusion
-/// decisions, and the solved arena size. Models whose forwards are not yet
-/// plan-compilable report the typed compile error instead (they serve via
-/// the tape fallback).
+/// decisions, and the solved arena size — first for the f32 store, then
+/// re-loaded from an int8 artifact and lowered, so the dump shows the
+/// artifact tier and each step's kernel precision (`[int8]` suffix).
+/// Models whose forwards are not yet plan-compilable report the typed
+/// compile error instead (they serve via the tape fallback).
 fn run_plan_dump() {
     use msd_harness::ModelSpec;
-    use msd_nn::{Model, ParamStore, Task};
+    use msd_nn::{ArtifactReader, ArtifactWriter, Model, ParamStore, PrecisionTier, Task};
     use msd_tensor::rng::Rng;
 
     let (channels, input_len, horizon, d_model) = (2, 48, 12, 8);
@@ -327,9 +329,39 @@ fn run_plan_dump() {
         let mut rng = Rng::seed_from(0xD0 + i as u64);
         let model = spec.build(&mut store, &mut rng, channels, input_len, task.clone(), d_model);
         println!("== {} ([1, {channels}, {input_len}] -> horizon {horizon})", model.name());
-        match model.compile_plan(&store, &[1, channels, input_len]) {
-            Ok(plan) => print!("{}", plan.describe()),
-            Err(e) => println!("  not plan-compilable: {e}"),
+        println!("-- artifact tier: {}", store.tier());
+        let plan = match model.compile_plan(&store, &[1, channels, input_len]) {
+            Ok(plan) => plan,
+            Err(e) => {
+                println!("  not plan-compilable: {e}");
+                continue;
+            }
+        };
+        print!("{}", plan.describe());
+
+        // The same architecture served from an int8 artifact: quantize,
+        // reload, and lower — the dump now tags each lowered step's kernel
+        // precision.
+        let bytes = ArtifactWriter::new(PrecisionTier::Int8)
+            .encode(&store)
+            .expect("fresh weights are finite");
+        let mut qstore = ParamStore::new();
+        let mut rng = Rng::seed_from(0xD0 + i as u64);
+        let _ = spec.build(&mut qstore, &mut rng, channels, input_len, task.clone(), d_model);
+        ArtifactReader::decode(&bytes)
+            .and_then(|r| r.load_into(&mut qstore))
+            .expect("int8 round trip");
+        match model.compile_plan(&qstore, &[1, channels, input_len]) {
+            Ok(mut plan) => {
+                let lowered = plan.lower_int8(&qstore);
+                println!(
+                    "-- artifact tier: {} ({lowered}/{} steps lowered)",
+                    qstore.tier(),
+                    plan.steps()
+                );
+                print!("{}", plan.describe());
+            }
+            Err(e) => println!("  int8 store not plan-compilable: {e}"),
         }
     }
 }

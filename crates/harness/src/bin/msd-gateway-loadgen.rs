@@ -32,6 +32,7 @@ use msd_gateway::http::Client;
 use msd_gateway::loadgen::{run_tcp_open_loop, GatewayBenchRow, TcpLoadSpec, TcpRequest};
 use msd_gateway::wire;
 use msd_harness::gwdemo::{find, DEMO_MODELS};
+use msd_nn::PrecisionTier;
 use msd_tensor::Tensor;
 
 fn usage() -> ! {
@@ -51,6 +52,9 @@ fn usage() -> ! {
                                  model and replica balances completed+failed+\n\
                                  rejected+expired == submitted\n\
            --swap-after-ms <n>   hot-swap {first} to v2 this long into the first rate\n\
+           --expect-tier <t>     require every 200 to carry X-Msd-Tier: <t> and check\n\
+                                 bytes against the tier's reference (f32|f16|int8;\n\
+                                 default f32, matching a gateway without --tier)\n\
            --out <path>          JSONL report sink (default target/BENCH_gateway.json)",
         first = DEMO_MODELS[0].name
     );
@@ -133,6 +137,7 @@ fn main() {
     let mut tolerate_faults = false;
     let mut ledger = false;
     let mut swap_after_ms: Option<u64> = None;
+    let mut expect_tier = PrecisionTier::F32;
     let mut out = String::from("target/BENCH_gateway.json");
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -157,6 +162,12 @@ fn main() {
             "--tolerate-faults" => tolerate_faults = true,
             "--check-ledger" => ledger = true,
             "--swap-after-ms" => swap_after_ms = Some(parse(it.next())),
+            "--expect-tier" => {
+                expect_tier = it
+                    .next()
+                    .and_then(|s| PrecisionTier::parse(s))
+                    .unwrap_or_else(|| usage())
+            }
             "--out" => out = parse(it.next()),
             _ => usage(),
         }
@@ -209,12 +220,15 @@ fn main() {
                 std::thread::sleep(Duration::from_millis(ms));
                 let m = DEMO_MODELS[0].name;
                 let mut client = Client::connect(&addr).expect("connect for swap");
+                // Swap at the expected tier and declare it, so a gateway
+                // serving a quantized fleet keeps its tier across the drill
+                // (and rejects the blob if the tiers ever disagree).
                 let r = client
                     .request(
                         "POST",
                         &format!("/v1/models/{m}/swap"),
-                        &[],
-                        &DEMO_MODELS[0].params_v2(),
+                        &[("X-Msd-Tier", expect_tier.as_str())],
+                        &DEMO_MODELS[0].params(2, expect_tier),
                     )
                     .expect("send swap");
                 assert_eq!(
@@ -248,7 +262,19 @@ fn main() {
                     let demo = find(DEMO_MODELS[*m].name).unwrap();
                     let version = resp.version.unwrap_or(0);
                     *versions.entry((demo.name.to_string(), version)).or_default() += 1;
-                    let want = demo.reference(version, x);
+                    // The gateway must declare the tier it served at, and it
+                    // must be the tier this run expects — a silent fallback
+                    // to another precision is as fatal as wrong bytes.
+                    let got_tier = resp.tier.as_deref().unwrap_or("<missing>");
+                    if got_tier != expect_tier.as_str() {
+                        eprintln!(
+                            "request {i}: X-Msd-Tier is {got_tier:?}, expected {:?}",
+                            expect_tier.as_str()
+                        );
+                        mismatches += 1;
+                        continue;
+                    }
+                    let want = demo.reference_tiered(version, expect_tier, x);
                     let got = match wire::decode_tensor(&resp.body) {
                         Ok(t) => t,
                         Err(e) => {

@@ -30,6 +30,8 @@ fn usage() -> ! {
            --workers <n>       worker threads per replica (default 2)\n\
            --max-batch <n>     micro-batch cap per replica (default 8)\n\
            --queue-cap <n>     admission queue bound per replica (default 256)\n\
+           --tier <t>          publish demo params at precision tier f32|f16|int8\n\
+                               (default f32; int8 serves via lowered plans)\n\
            --deadline-ms <n>   default per-request deadline; 0 = none (default 0)\n\
            --run-secs <n>      exit after n seconds; 0 = run until killed (default 0)\n\
          \n\
@@ -52,6 +54,7 @@ fn main() {
     let mut workers = 2usize;
     let mut max_batch = 8usize;
     let mut queue_cap = 256usize;
+    let mut tier = msd_nn::PrecisionTier::F32;
     let mut deadline_ms = 0u64;
     let mut run_secs = 0u64;
     let mut it = args.iter();
@@ -64,6 +67,12 @@ fn main() {
             "--workers" => workers = parse(it.next()),
             "--max-batch" => max_batch = parse(it.next()),
             "--queue-cap" => queue_cap = parse(it.next()),
+            "--tier" => {
+                tier = it
+                    .next()
+                    .and_then(|s| msd_nn::PrecisionTier::parse(s))
+                    .unwrap_or_else(|| usage())
+            }
             "--deadline-ms" => deadline_ms = parse(it.next()),
             "--run-secs" => run_secs = parse(it.next()),
             _ => usage(),
@@ -95,11 +104,15 @@ fn main() {
     }
     let gw = Gateway::bind(addr.as_str(), cfg).expect("bind gateway");
     for m in DEMO_MODELS {
+        // Always register through an encoded artifact at the requested tier
+        // (f32 included) and declare that tier as the expectation, so the
+        // demo exercises the same validated load path real deployments use.
+        let params = m.params(1, tier);
         let version = gw
             .registry()
-            .register(m.name, m.factory(), None)
+            .register_tiered(m.name, m.factory(), Some(&params), Some(tier))
             .expect("register demo model");
-        eprintln!("registered {} v{version} ({} replicas)", m.name, replicas);
+        eprintln!("registered {} v{version} tier={tier} ({} replicas)", m.name, replicas);
     }
     let bound = gw.local_addr().to_string();
     println!("{bound}");

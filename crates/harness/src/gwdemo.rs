@@ -14,8 +14,9 @@
 //! drills; [`DemoModel::reference`] answers "what must version `v` predict
 //! for input `i`" in any process.
 
+use msd_autograd::PlanArena;
 use msd_gateway::ModelFactory;
-use msd_nn::{DynModel, ParamStore, Task};
+use msd_nn::{ArtifactReader, ArtifactWriter, DynModel, Model, ParamStore, PrecisionTier, Task};
 use msd_tensor::rng::Rng;
 use msd_tensor::Tensor;
 
@@ -95,10 +96,25 @@ impl DemoModel {
         })
     }
 
-    /// The encoded version-2 parameter blob for hot-swap drills.
+    /// The encoded parameter blob for `version` (1 or 2) at `tier`.
+    pub fn params(&self, version: u32, tier: PrecisionTier) -> Vec<u8> {
+        let (_, store) = self.build(self.seed(version));
+        ArtifactWriter::new(tier)
+            .encode(&store)
+            .expect("demo weights are finite, so every tier encodes")
+    }
+
+    /// The encoded version-2 parameter blob for f32 hot-swap drills.
     pub fn params_v2(&self) -> Vec<u8> {
-        let (_, store) = self.build(self.seed_v2);
-        msd_nn::store::encode(&store)
+        self.params(2, PrecisionTier::F32)
+    }
+
+    fn seed(&self, version: u32) -> u64 {
+        match version {
+            1 => self.seed_v1,
+            2 => self.seed_v2,
+            v => panic!("demo models only have versions 1 and 2, asked for {v}"),
+        }
     }
 
     /// The `i`-th deterministic input sample, shaped `[1, C, L]`.
@@ -108,15 +124,35 @@ impl DemoModel {
     }
 
     /// Sequential single-sample reference for `version` (1 or 2) on `x` —
-    /// the bits every gateway response must reproduce.
+    /// the bits every gateway response must reproduce when serving f32.
     pub fn reference(&self, version: u32, x: &Tensor) -> Tensor {
-        let seed = match version {
-            1 => self.seed_v1,
-            2 => self.seed_v2,
-            v => panic!("demo models only have versions 1 and 2, asked for {v}"),
-        };
-        let (model, store) = self.build(seed);
+        let (model, store) = self.build(self.seed(version));
         model.predict(&store, x)
+    }
+
+    /// [`DemoModel::reference`] for a gateway serving `tier`: the store is
+    /// round-tripped through a real artifact at that tier — exactly the
+    /// bytes [`DemoModel::params`] produces — so both processes dequantize
+    /// identically. For f32/f16 the reference is plain `predict` (compiled
+    /// plans are bit-identical to it); for int8 it is a lowered plan, valid
+    /// cross-process because the int8 path is bit-identical across kernel
+    /// tiers, thread counts, and batch compositions (integer accumulation).
+    pub fn reference_tiered(&self, version: u32, tier: PrecisionTier, x: &Tensor) -> Tensor {
+        let bytes = self.params(version, tier);
+        let (model, mut store) = self.build(self.seed(version));
+        ArtifactReader::decode(&bytes)
+            .and_then(|r| r.load_into(&mut store))
+            .expect("demo artifact round-trips");
+        match tier {
+            PrecisionTier::F32 | PrecisionTier::F16 => model.predict(&store, x),
+            PrecisionTier::Int8 => {
+                let mut plan = model
+                    .compile_plan(&store, x.shape())
+                    .expect("demo models compile");
+                plan.lower_int8(&store);
+                model.predict_plan(&plan, &store, x, &mut PlanArena::new())
+            }
+        }
     }
 }
 
@@ -156,6 +192,38 @@ mod tests {
             // The v2 blob decodes cleanly into the factory architecture.
             let (_, mut store) = m.build(m.seed_v1);
             msd_nn::store::decode(&mut store, &m.params_v2()).unwrap();
+        }
+    }
+
+    #[test]
+    fn tiered_references_are_deterministic_and_blobs_carry_their_tier() {
+        for m in DEMO_MODELS {
+            let x = m.input(5);
+            for tier in [PrecisionTier::F32, PrecisionTier::F16, PrecisionTier::Int8] {
+                // The blob really is published at the requested tier.
+                let reader = ArtifactReader::decode(&m.params(1, tier)).unwrap();
+                assert_eq!(reader.tier(), tier, "{}", m.name);
+                // Two independent rebuilds (standing in for two processes)
+                // agree to the bit.
+                let a = m.reference_tiered(1, tier, &x);
+                let b = m.reference_tiered(1, tier, &x);
+                assert!(
+                    a.data()
+                        .iter()
+                        .zip(b.data())
+                        .all(|(p, q)| p.to_bits() == q.to_bits()),
+                    "{} {tier}: tiered reference not reproducible",
+                    m.name
+                );
+            }
+            // The f32 tiered reference is the plain reference.
+            let plain = m.reference(1, &x);
+            let f32t = m.reference_tiered(1, PrecisionTier::F32, &x);
+            assert!(plain
+                .data()
+                .iter()
+                .zip(f32t.data())
+                .all(|(p, q)| p.to_bits() == q.to_bits()));
         }
     }
 }

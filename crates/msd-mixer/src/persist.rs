@@ -225,7 +225,7 @@ mod tests {
     }
 
     /// The parameter stream exactly as the pre-unification
-    /// `msd_nn::serialize::save` wrote it (raw `MSDCKPT1`, no container).
+    /// the original raw-`MSDCKPT1` serializer wrote it (no container).
     fn legacy_ckpt1_stream(store: &ParamStore) -> Vec<u8> {
         let mut w = Vec::new();
         w.extend_from_slice(b"MSDCKPT1");

@@ -28,10 +28,12 @@ mod optim;
 mod params;
 mod schedule;
 mod task;
+pub mod artifact;
 pub mod checkpoint;
 pub mod serialize;
 pub mod store;
 
+pub use artifact::{ArtifactReader, ArtifactWriter, PrecisionTier};
 pub use ctx::Ctx;
 pub use init::{kaiming_normal, xavier_uniform};
 pub use layers::{LayerNorm, Linear, MlpBlock};

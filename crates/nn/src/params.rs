@@ -1,15 +1,25 @@
 //! Parameter storage shared by all models in the workspace.
 
 use msd_autograd::ParamId;
-use msd_tensor::Tensor;
+use msd_tensor::{QuantTensor, QuantView, Tensor};
+
+use crate::artifact::PrecisionTier;
 
 /// Owns the values of every trainable parameter of a model.
 ///
 /// Layers register parameters at construction time and keep the returned
 /// [`ParamId`]s; optimisers mutate the stored values in place between steps.
+///
+/// A store also remembers the [`PrecisionTier`] of the artifact it was
+/// loaded from. Values are *always* f32 — a reduced-precision artifact
+/// dequantizes on load — but an int8-tier store additionally carries the
+/// quantized weights so compiled plans can lower matching steps onto the
+/// int8 kernels ([`msd_autograd::plan::ParamSource::quant_param`]).
 pub struct ParamStore {
     values: Vec<Tensor>,
     names: Vec<String>,
+    tier: PrecisionTier,
+    quant: Vec<Option<QuantTensor>>,
 }
 
 impl Default for ParamStore {
@@ -24,6 +34,8 @@ impl ParamStore {
         Self {
             values: Vec::new(),
             names: Vec::new(),
+            tier: PrecisionTier::F32,
+            quant: Vec::new(),
         }
     }
 
@@ -33,7 +45,37 @@ impl ParamStore {
         let id = self.values.len();
         self.values.push(value);
         self.names.push(name.into());
+        self.quant.push(None);
         id
+    }
+
+    /// The precision tier of the artifact these parameters came from
+    /// ([`PrecisionTier::F32`] for a freshly initialised or trained store).
+    pub fn tier(&self) -> PrecisionTier {
+        self.tier
+    }
+
+    /// The quantized form of a parameter, when the store was loaded from an
+    /// int8-tier artifact.
+    pub fn quant(&self, id: ParamId) -> Option<&QuantTensor> {
+        self.quant.get(id).and_then(|q| q.as_ref())
+    }
+
+    /// Installs a tier and its quantized weights (one slot per parameter,
+    /// `None` for params served from their dequantized f32 values).
+    /// Crate-internal: only the artifact loader transitions tiers.
+    pub(crate) fn install_tier(&mut self, tier: PrecisionTier, quant: Vec<Option<QuantTensor>>) {
+        assert_eq!(quant.len(), self.values.len(), "quant table length mismatch");
+        self.tier = tier;
+        self.quant = quant;
+    }
+
+    /// Resets the store to the plain-f32 tier (dropping any quant table).
+    pub(crate) fn reset_tier(&mut self) {
+        self.tier = PrecisionTier::F32;
+        for q in &mut self.quant {
+            *q = None;
+        }
     }
 
     /// Number of registered parameters (tensors, not scalars).
@@ -99,6 +141,10 @@ impl ParamStore {
 impl msd_autograd::plan::ParamSource for ParamStore {
     fn param_value(&self, id: ParamId) -> &Tensor {
         self.get(id)
+    }
+
+    fn quant_param(&self, id: ParamId) -> Option<QuantView<'_>> {
+        self.quant(id).map(|q| q.view())
     }
 }
 

@@ -1,9 +1,12 @@
 //! Legacy checkpoint serialisation: the raw `MSDCKPT1` parameter stream.
 //!
-//! Superseded by [`crate::store`], which wraps this stream in the
-//! CRC-protected `MSDCKPT2` container and still loads every legacy raw file.
-//! [`save`] and [`load`] remain as deprecated shims so old callers keep
-//! compiling; new code should use `msd_nn::store::{save, load}`.
+//! Superseded twice over: first by [`crate::store`] (the `MSDCKPT2`
+//! container), now by the precision-aware [`crate::artifact`] API, whose f32
+//! tier still embeds exactly this stream as its payload section — and whose
+//! reader still loads every legacy raw file ever written. The deprecated
+//! `save`/`load` shims that used to live here are gone; use
+//! [`crate::artifact::ArtifactWriter`] / [`crate::artifact::ArtifactReader`]
+//! (or the thin `msd_nn::store` wrappers).
 //!
 //! Layout (little-endian):
 //!
@@ -19,28 +22,10 @@
 use crate::ParamStore;
 use std::io::{self, Read, Write};
 
-const MAGIC: &[u8; 8] = b"MSDCKPT1";
+pub(crate) const MAGIC: &[u8; 8] = b"MSDCKPT1";
 
-/// Writes every parameter of `store` to `w`.
-///
-/// Deprecated shim over [`crate::store::save`]: it now writes the
-/// CRC-protected `MSDCKPT2` container, which [`load`] (and the new API)
-/// read alongside legacy raw streams.
-#[deprecated(since = "0.1.0", note = "use msd_nn::store::save (CRC-protected container)")]
-pub fn save(store: &ParamStore, w: &mut impl Write) -> io::Result<()> {
-    crate::store::save(store, w)
-}
-
-/// Reads a checkpoint (container or legacy raw stream) into `store`.
-///
-/// Deprecated shim over [`crate::store::load`].
-#[deprecated(since = "0.1.0", note = "use msd_nn::store::load (accepts legacy files too)")]
-pub fn load(store: &mut ParamStore, r: &mut impl Read) -> io::Result<()> {
-    crate::store::load(store, r)
-}
-
-/// Writes the raw `MSDCKPT1` stream (no container). Internal: the container
-/// section payload written by [`crate::store`] is exactly this stream.
+/// Writes the raw `MSDCKPT1` stream (no container). Internal: the f32-tier
+/// payload section written by [`crate::artifact`] is exactly this stream.
 pub(crate) fn save_raw(store: &ParamStore, w: &mut impl Write) -> io::Result<()> {
     w.write_all(MAGIC)?;
     w.write_all(&(store.len() as u32).to_le_bytes())?;
@@ -139,7 +124,6 @@ fn read_u32(r: &mut impl Read) -> io::Result<u32> {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the shims' own regression tests exercise them directly
 mod tests {
     use super::*;
     use msd_tensor::rng::Rng;

@@ -1,100 +1,81 @@
-//! The one parameter-persistence API.
+//! Thin forwarding wrappers over [`crate::artifact`], the typed
+//! precision-aware artifact API.
 //!
 //! Historically weights could be saved three ways: the raw `MSDCKPT1` stream
-//! ([`crate::serialize`]), the CRC-protected `MSDCKPT2` container
-//! ([`crate::checkpoint`]), and `msd_mixer::persist`'s header-plus-stream
-//! format. This module collapses them: [`save`] always writes an `MSDCKPT2`
-//! container holding the parameter stream in a named section, and [`load`]
-//! sniffs the magic so it accepts both new containers **and** every legacy
-//! raw-`MSDCKPT1` file ever written — old checkpoints keep loading through
-//! the one new API. The old entry points remain as `#[deprecated]` shims
-//! over this module.
+//! ([`crate::serialize`]), the CRC-protected `MSDCKPT2` container, and
+//! `msd_mixer::persist`'s header-plus-stream format. Those were collapsed
+//! into this module, which has itself now been superseded by
+//! [`ArtifactWriter`](crate::artifact::ArtifactWriter) /
+//! [`ArtifactReader`](crate::artifact::ArtifactReader): artifacts carry a
+//! format version, a [`PrecisionTier`](crate::artifact::PrecisionTier), and
+//! an architecture fingerprint, and may store weights at f32, f16, or int8.
 //!
-//! `save`/`load` work on byte streams; [`save_file`]/[`load_file`] add the
-//! crash-safe file discipline (atomic tmp+fsync+rename install, CRC
-//! verification before any payload is parsed).
+//! The functions here remain for one release as *thin wrappers*: [`save`] /
+//! [`encode`] write an f32-tier artifact, and [`load`] / [`decode`] accept
+//! any tier and every legacy format ever written (raw `MSDCKPT1` streams and
+//! pre-v3 containers included) — loading a reduced-precision artifact
+//! through [`decode`] installs its tier on the store exactly as the typed
+//! reader does. New code should use `msd_nn::artifact` directly.
 
-use crate::{checkpoint, ParamStore};
+use crate::artifact::{ArtifactReader, ArtifactWriter, PrecisionTier};
+use crate::ParamStore;
 use std::io::{self, Read, Write};
 use std::path::Path;
 
-/// Section name holding the parameter stream inside the container.
-pub const PARAMS_SECTION: &str = "params";
+/// Section name holding the f32 parameter stream inside the container.
+/// Re-exported from [`crate::artifact::PARAMS_SECTION`].
+pub const PARAMS_SECTION: &str = crate::artifact::PARAMS_SECTION;
 
-/// Writes every parameter of `store` to `w` as an `MSDCKPT2` container with
-/// a single [`PARAMS_SECTION`] section (CRC-protected per section and
-/// whole-body).
+/// Writes every parameter of `store` to `w` as an f32-tier artifact
+/// (`MSDCKPT2` container, CRC-protected per section and whole-body).
+///
+/// Thin wrapper over [`ArtifactWriter::save`] at [`PrecisionTier::F32`].
 pub fn save(store: &ParamStore, w: &mut impl Write) -> io::Result<()> {
-    w.write_all(&encode(store))
+    ArtifactWriter::new(PrecisionTier::F32).save(store, w)
 }
 
-/// Encodes the store to container bytes (the in-memory form of [`save`]).
+/// Encodes the store to f32-tier artifact bytes (the in-memory form of
+/// [`save`]).
 pub fn encode(store: &ParamStore) -> Vec<u8> {
-    let mut payload = Vec::new();
-    crate::serialize::save_raw(store, &mut payload).expect("Vec write cannot fail");
-    checkpoint::encode_container(&[(PARAMS_SECTION, payload)])
+    ArtifactWriter::new(PrecisionTier::F32)
+        .encode(store)
+        .expect("f32-tier encode cannot fail")
 }
 
-/// Reads parameters from `r` into `store`, accepting both formats the repo
-/// has ever written:
+/// Reads parameters from `r` into `store`, accepting every format the repo
+/// has ever written: v3 artifacts at any tier, pre-v3 containers, and
+/// legacy raw `MSDCKPT1` streams.
 ///
-/// * an `MSDCKPT2` container whose [`PARAMS_SECTION`] (or, for files from
-///   older tools, sole section) holds the `MSDCKPT1` stream — CRCs are
-///   verified before any payload is parsed;
-/// * a legacy raw `MSDCKPT1` stream.
-///
-/// Validation matches [`crate::serialize::load`]: counts, names, and shapes
-/// are checked against the store before allocation, and the store is
-/// updated all-or-nothing.
+/// Thin wrapper over [`ArtifactReader::read`] + `load_into`; validation
+/// (CRCs, fingerprint, counts, names, shapes — all before allocation) and
+/// the all-or-nothing commit are the reader's.
 pub fn load(store: &mut ParamStore, r: &mut impl Read) -> io::Result<()> {
-    let mut bytes = Vec::new();
-    r.read_to_end(&mut bytes)?;
-    decode(store, &bytes)
+    ArtifactReader::read(r)?.load_into(store)
 }
 
-/// Decodes container-or-legacy bytes into `store` (the in-memory form of
+/// Decodes artifact-or-legacy bytes into `store` (the in-memory form of
 /// [`load`]).
 pub fn decode(store: &mut ParamStore, bytes: &[u8]) -> io::Result<()> {
-    let stream: &[u8];
-    let sections;
-    if bytes.starts_with(checkpoint::MAGIC) {
-        sections = checkpoint::decode_container(bytes)?;
-        let section = sections
-            .iter()
-            .find(|(name, _)| name == PARAMS_SECTION)
-            .or_else(|| if sections.len() == 1 { sections.first() } else { None })
-            .ok_or_else(|| {
-                io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("container has no '{PARAMS_SECTION}' section"),
-                )
-            })?;
-        stream = &section.1;
-    } else {
-        // Legacy raw MSDCKPT1 stream (or garbage — the raw codec rejects
-        // bad magic with InvalidData either way).
-        stream = bytes;
-    }
-    crate::serialize::load_raw(store, &mut { stream })
+    ArtifactReader::decode(bytes)?.load_into(store)
 }
 
-/// Saves the store to `path` crash-safely: container bytes installed via
+/// Saves the store to `path` crash-safely: artifact bytes installed via
 /// atomic tmp sibling + fsync + rename, so a crash mid-save can never leave
 /// a torn file behind.
 pub fn save_file(store: &ParamStore, path: impl AsRef<Path>) -> io::Result<()> {
-    checkpoint::write_atomic(path.as_ref(), &encode(store))
+    ArtifactWriter::new(PrecisionTier::F32).save_file(store, path)
 }
 
-/// Loads parameters from `path` (new container or legacy raw stream),
+/// Loads parameters from `path` (any artifact tier or legacy format),
 /// verifying container CRCs before any payload is parsed.
 pub fn load_file(store: &mut ParamStore, path: impl AsRef<Path>) -> io::Result<()> {
-    let bytes = std::fs::read(path.as_ref())?;
-    decode(store, &bytes)
+    ArtifactReader::load_file(path)?.load_into(store)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::checkpoint;
     use msd_tensor::rng::Rng;
     use msd_tensor::Tensor;
 
@@ -122,11 +103,13 @@ mod tests {
         let mut restored = sample_store(2);
         load(&mut restored, &mut buf.as_slice()).unwrap();
         assert_eq!(bits(&store), bits(&restored));
+        assert_eq!(restored.tier(), PrecisionTier::F32);
     }
 
     #[test]
     fn legacy_msdckpt1_files_still_load() {
-        // A raw stream written by the *old* API loads through the new one.
+        // A raw stream written by the *original* API loads through the
+        // wrappers (and the typed reader) bit-exactly.
         let store = sample_store(3);
         let mut legacy = Vec::new();
         crate::serialize::save_raw(&store, &mut legacy).unwrap();
@@ -137,23 +120,42 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_shims_and_new_api_interoperate() {
-        // Old save → new load and new save → old load both work, so callers
-        // can migrate one side at a time.
+    fn pre_redesign_container_files_still_load() {
+        // What `store::encode` wrote before the artifact redesign: a
+        // container holding a single bare "params" section, no "meta".
+        // Migration guarantee: these files load bit-exactly as f32.
         let store = sample_store(5);
-        let mut via_old = Vec::new();
-        #[allow(deprecated)]
-        crate::serialize::save(&store, &mut via_old).unwrap();
-        let mut a = sample_store(6);
-        load(&mut a, &mut via_old.as_slice()).unwrap();
-        assert_eq!(bits(&store), bits(&a));
+        let mut payload = Vec::new();
+        crate::serialize::save_raw(&store, &mut payload).unwrap();
+        let old_bytes = checkpoint::encode_container(&[(PARAMS_SECTION, payload)]);
 
-        let mut via_new = Vec::new();
-        save(&store, &mut via_new).unwrap();
-        let mut b = sample_store(7);
-        #[allow(deprecated)]
-        crate::serialize::load(&mut b, &mut via_new.as_slice()).unwrap();
-        assert_eq!(bits(&store), bits(&b));
+        let mut restored = sample_store(6);
+        decode(&mut restored, &old_bytes).unwrap();
+        assert_eq!(bits(&store), bits(&restored));
+        assert_eq!(restored.tier(), PrecisionTier::F32);
+
+        // The typed reader reports it as the pre-v3 format.
+        let reader = ArtifactReader::decode(&old_bytes).unwrap();
+        assert_eq!(reader.format_version(), 2);
+        assert_eq!(reader.tier(), PrecisionTier::F32);
+        assert_eq!(reader.arch_fingerprint(), None);
+    }
+
+    #[test]
+    fn decode_accepts_reduced_precision_artifacts() {
+        // The wrapper is tier-transparent on the read side: an int8-tier
+        // artifact loads through plain `decode` and installs its tier.
+        let store = sample_store(7);
+        let bytes = ArtifactWriter::new(PrecisionTier::Int8).encode(&store).unwrap();
+        let mut restored = sample_store(8);
+        decode(&mut restored, &bytes).unwrap();
+        assert_eq!(restored.tier(), PrecisionTier::Int8);
+        assert!(restored.quant(0).is_some());
+
+        // And loading an f32 artifact afterwards resets the tier.
+        decode(&mut restored, &encode(&store)).unwrap();
+        assert_eq!(restored.tier(), PrecisionTier::F32);
+        assert!(restored.quant(0).is_none());
     }
 
     #[test]

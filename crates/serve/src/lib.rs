@@ -610,7 +610,16 @@ fn worker_loop(
                             cache
                                 .entry(shape.clone())
                                 .or_insert_with(|| {
-                                    model.compile_plan(store, &shape).ok().map(Arc::new)
+                                    // Compilation always traces and verifies
+                                    // at f32; an int8-tier store then lowers
+                                    // the plan's matmuls onto the int8
+                                    // kernels as an explicit post-step.
+                                    model.compile_plan(store, &shape).ok().map(|mut plan| {
+                                        if store.tier() == msd_nn::PrecisionTier::Int8 {
+                                            plan.lower_int8(store);
+                                        }
+                                        Arc::new(plan)
+                                    })
                                 })
                                 .clone()
                         };

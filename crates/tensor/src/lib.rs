@@ -30,6 +30,7 @@ pub mod pool;
 pub mod rng;
 pub mod stats;
 
+pub use ops::kernels::quant::{QuantError, QuantTensor, QuantView};
 pub use shape::{strides_for, Shape};
 pub use tensor::Tensor;
 

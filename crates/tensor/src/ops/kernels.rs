@@ -52,6 +52,7 @@ use std::sync::OnceLock;
 pub mod ew;
 pub mod norm;
 pub mod oracle;
+pub mod quant;
 pub mod reduce;
 mod simd;
 

@@ -17,7 +17,7 @@
 //! different NaN bits. Whether a value IS NaN, and every non-NaN bit
 //! (including ±inf and signed zeros), is still exact.
 
-use msd_tensor::ops::kernels::{self, ew, norm, oracle, reduce};
+use msd_tensor::ops::kernels::{self, ew, norm, oracle, quant, reduce};
 use msd_tensor::rng::Rng;
 
 /// Raw bits, with every NaN collapsed to the canonical quiet NaN.
@@ -197,6 +197,30 @@ fn check_norms(rng: &mut Rng, ctx: &str) {
     }
 }
 
+fn check_quant(rng: &mut Rng, ctx: &str) {
+    for &(rows, k, n) in &[(1usize, 4usize, 3usize), (2, 16, 8), (7, 33, 17), (64, 96, 40)] {
+        let c = ctx.to_string() + &format!(" rows={rows} k={k} n={n}");
+        let x = gen(rng, rows * k, false);
+        let wv = gen(rng, k * n, false);
+        let bias = gen(rng, n, false);
+        let w = quant::QuantTensor::quantize(&wv, &[k, n]).expect("finite weights");
+        for &gelu in &[false, true] {
+            for b in [None, Some(bias.as_slice())] {
+                let mut got = vec![0.0f32; rows * n];
+                let mut want = vec![0.0f32; rows * n];
+                quant::linear_i8_into(&x, rows, k, w.view(), b, gelu, &mut got);
+                quant::linear_i8_oracle(&x, rows, k, w.view(), b, gelu, &mut want);
+                assert_slice_bits(
+                    &format!("linear_i8 gelu={gelu} bias={}", b.is_some()),
+                    &got,
+                    &want,
+                    &c,
+                );
+            }
+        }
+    }
+}
+
 /// Capture whole-run outputs under the CURRENT tier/thread config so the
 /// sweep can assert cross-config bit-identity (oracle equality alone is
 /// per-config; this pins every config to the exact same bits).
@@ -222,6 +246,16 @@ fn fingerprint(rng: &mut Rng) -> Vec<u32> {
         (vec![0.0f32; rows * d], vec![0.0f32; rows], vec![0.0f32; rows]);
     norm::layernorm_fwd(&x, d, &gamma, &beta, 1e-5, &mut o, &mut mean, &mut rstd);
     fp.extend(o.iter().map(|v| canon(*v)));
+    // int8 linear: exact integer accumulation means every config must land
+    // on identical bits, with no NaN carve-out needed for finite inputs.
+    let (rows, k, n) = (48usize, 64usize, 32usize);
+    let xa = gen(rng, rows * k, false);
+    let wv = gen(rng, k * n, false);
+    let bias = gen(rng, n, false);
+    let w = quant::QuantTensor::quantize(&wv, &[k, n]).expect("finite weights");
+    let mut qo = vec![0.0f32; rows * n];
+    quant::linear_i8_into(&xa, rows, k, w.view(), Some(&bias), true, &mut qo);
+    fp.extend(qo.iter().map(|v| canon(*v)));
     fp
 }
 
@@ -242,6 +276,7 @@ fn kernels_match_oracle_across_tiers_and_threads() {
             check_reductions(&mut rng, &ctx);
             check_elementwise(&mut rng, &ctx);
             check_norms(&mut rng, &ctx);
+            check_quant(&mut rng, &ctx);
             let fp = fingerprint(&mut rng);
             match &reference_fp {
                 None => reference_fp = Some(fp),

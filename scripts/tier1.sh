@@ -92,6 +92,31 @@ cargo test -p msd-harness --test predict_batch_bitident -q --offline
 cargo test -p msd-harness --test plan_bitident -q --offline
 MSD_KERNEL_FORCE=scalar cargo test -p msd-harness --test plan_bitident -q --offline
 
+# Quantization gate: the error-budget suite (every zoo model at f16/int8
+# must hold the declared mse/smape/label-agreement budgets against the f32
+# reference) and the int8-lowering bit-identity sweep (lowered plans are
+# bit-identical across kernel tiers, thread counts, and batch
+# compositions). Both re-run with kernels pinned to the scalar tier, since
+# the int8 row kernels dispatch per call exactly like the f32 ones.
+cargo test -p msd-harness --test quant_budget -q --offline
+cargo test -p msd-harness --test plan_int8 -q --offline
+MSD_KERNEL_FORCE=scalar cargo test -p msd-harness --test quant_budget -q --offline
+MSD_KERNEL_FORCE=scalar cargo test -p msd-harness --test plan_int8 -q --offline
+
+# Quant bench: artifact bytes per model and per-sample serve latency per
+# precision tier, every served response byte-compared against the tier's
+# sequential reference first. Enforces the compression floors (f16 >= 1.9x,
+# int8 >= 3.5x smaller than f32). Appends JSONL to target/BENCH_quant.json
+# (CI artifact); the floors are size ratios, not timings, so no retry.
+rm -f target/BENCH_quant.json
+cargo run --release --offline -p msd-harness --bin msd-quant-bench -- \
+  --requests 64 --out target/BENCH_quant.json
+test -s target/BENCH_quant.json || { echo "quant bench wrote no report" >&2; exit 1; }
+grep -q '"int8_ratio"' target/BENCH_quant.json || {
+  echo "quant report missing compression ratios" >&2; exit 1;
+}
+echo "quant bench OK: report in target/BENCH_quant.json"
+
 # Serving benchmark: open-loop load through msd-serve, every response
 # byte-compared against sequential predict, report appended as JSONL (CI
 # uploads it as an artifact). The speedup floor here is modest because CI
@@ -178,6 +203,27 @@ if grep -qE '"lost":[1-9]' target/BENCH_gateway.json; then
   echo "gateway smoke lost requests" >&2; exit 1
 fi
 echo "gateway smoke OK: report in target/BENCH_gateway.json"
+
+# Quantized-tier gateway smoke: the same real-process drill with the demo
+# fleet published from int8 artifacts. The load generator requires every
+# 200 to carry X-Msd-Tier: int8 (a silent fall back to f32 is as fatal as
+# wrong bytes) and byte-compares each response against the int8 lowered-plan
+# reference it computes in its own process; the mid-run hot-swap posts a v2
+# int8 artifact with the tier declared in the request header.
+rm -f target/gw-int8.addr
+cargo run --release --offline -p msd-harness --bin msd-gateway -- \
+  --demo --tier int8 --addr-file target/gw-int8.addr --replicas 2 --run-secs 120 &
+GW_PID=$!
+trap 'kill "$GW_PID" 2>/dev/null || true' EXIT
+for _ in $(seq 1 200); do [ -f target/gw-int8.addr ] && break; sleep 0.1; done
+test -f target/gw-int8.addr || { echo "int8 gateway never published its address" >&2; exit 1; }
+cargo run --release --offline -p msd-harness --bin msd-gateway-loadgen -- \
+  --target "$(cat target/gw-int8.addr)" --requests 300 --connections 4 \
+  --expect-tier int8 --swap-after-ms 150
+kill "$GW_PID" 2>/dev/null || true
+wait "$GW_PID" 2>/dev/null || true
+trap - EXIT
+echo "int8 gateway smoke OK: every response tier-tagged and byte-checked"
 
 # Chaos smoke: the same real-gateway drill under a seeded deterministic
 # fault plan (worker panics, worker stalls, connection drops). The load
