@@ -108,6 +108,25 @@ pub enum TrainEvent {
         /// Path of the checkpoint file that was loaded.
         path: String,
     },
+    /// A streaming drift detector crossed its trigger threshold. Emitted by
+    /// `msd-stream` on the shared JSONL schema; every field is a function of
+    /// the seeded stream, so the event is replay-deterministic.
+    Drift {
+        /// Stream step (sample index) at which the trigger fired.
+        step: u64,
+        /// The windowed drift statistic that crossed the threshold.
+        statistic: f32,
+        /// Trigger threshold in effect.
+        threshold: f32,
+    },
+    /// A model version was hot-swapped into the serving registry (the
+    /// BUILD→PUBLISH→DRAIN path) after a warm retrain.
+    Swap {
+        /// Stream step at which the new version was published.
+        step: u64,
+        /// Registry version now live.
+        version: u32,
+    },
 }
 
 impl TrainEvent {
@@ -123,6 +142,8 @@ impl TrainEvent {
             TrainEvent::Restore { .. } => "restore",
             TrainEvent::EarlyStop { .. } => "early_stop",
             TrainEvent::Resume { .. } => "resume",
+            TrainEvent::Drift { .. } => "drift",
+            TrainEvent::Swap { .. } => "swap",
         }
     }
 
@@ -217,6 +238,21 @@ impl TrainEvent {
                     json_escape(path)
                 );
             }
+            TrainEvent::Drift {
+                step,
+                statistic,
+                threshold,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"step\":{step},\"statistic\":{},\"threshold\":{}",
+                    json_f32(*statistic),
+                    json_f32(*threshold)
+                );
+            }
+            TrainEvent::Swap { step, version } => {
+                let _ = write!(s, ",\"step\":{step},\"version\":{version}");
+            }
         }
         s.push('}');
         s
@@ -225,7 +261,9 @@ impl TrainEvent {
 
 /// An f32 as a JSON token: finite values print as numbers, non-finite as
 /// `"NaN"` / `"inf"` / `"-inf"` strings (strict JSON has no NaN literal).
-fn json_f32(v: f32) -> String {
+/// Public so other JSONL emitters (the stream score log) format floats with
+/// the exact same bytes as training telemetry.
+pub fn json_f32(v: f32) -> String {
     if v.is_nan() {
         "\"NaN\"".into()
     } else if v == f32::INFINITY {
@@ -485,6 +523,30 @@ mod tests {
         for l in lines {
             assert!(l.starts_with('{') && l.ends_with('}'), "{l}");
         }
+    }
+
+    #[test]
+    fn stream_events_render_on_the_shared_schema() {
+        let drift = TrainEvent::Drift {
+            step: 2048,
+            statistic: 6.5,
+            threshold: 4.0,
+        };
+        assert_eq!(
+            drift.to_json(),
+            "{\"event\":\"drift\",\"step\":2048,\"statistic\":6.5,\"threshold\":4}"
+        );
+        let swap = TrainEvent::Swap {
+            step: 2304,
+            version: 2,
+        };
+        assert_eq!(swap.to_json(), "{\"event\":\"swap\",\"step\":2304,\"version\":2}");
+        // Neither event touches the training counters.
+        let mut mon = TrainMonitor::in_memory();
+        mon.record(&drift);
+        mon.record(&swap);
+        assert_eq!(mon.summary(), &TelemetrySummary::default());
+        assert_eq!(mon.lines().len(), 2);
     }
 
     #[test]

@@ -81,6 +81,17 @@ pub fn point_adjusted_scores(pred: &[bool], truth: &[bool]) -> DetectionScores {
     DetectionScores::from_counts(tp, fp, fn_)
 }
 
+/// Point-adjusted F1 of thresholded `scores` against `truth`: flags every
+/// point with `score > threshold`, applies [`point_adjust`], and returns the
+/// resulting F1. This is the single number the paper's Sec. IV anomaly
+/// protocol reports per (dataset, threshold) pair; pick `threshold` with
+/// [`threshold_by_ratio`] to reproduce the anomaly-ratio convention.
+pub fn point_adjusted_f1(scores: &[f32], truth: &[bool], threshold: f32) -> f32 {
+    assert_eq!(scores.len(), truth.len(), "point_adjusted_f1 length mismatch");
+    let pred: Vec<bool> = scores.iter().map(|&s| s > threshold).collect();
+    point_adjusted_scores(&pred, truth).f1
+}
+
 /// Chooses the detection threshold as the `(1 − ratio)` quantile of the
 /// anomaly scores — the "anomaly ratio" convention of the benchmark suite
 /// (flag the top `ratio` fraction of points).
@@ -141,6 +152,80 @@ mod tests {
         let pred = [false, false];
         let s = point_adjusted_scores(&pred, &truth);
         assert_eq!(s.f1, 0.0);
+    }
+
+    /// Known-answer case, hand-computed: truth has one 4-point segment at
+    /// [2, 6); pred hits only index 4. Point-adjust expands the hit to the
+    /// whole segment, so the adjusted prediction is exactly the truth mask:
+    /// tp = 4, fp = 0, fn = 0 → precision = recall = f1 = 1.
+    #[test]
+    fn single_point_hit_expands_to_whole_segment() {
+        let truth = [false, false, true, true, true, true, false, false];
+        let mut pred = [false, false, false, false, true, false, false, false];
+        point_adjust(&mut pred, &truth);
+        assert_eq!(pred, truth, "adjusted mask must equal the segment mask");
+        let s = point_adjusted_scores(
+            &[false, false, false, false, true, false, false, false],
+            &truth,
+        );
+        assert_eq!((s.precision, s.recall, s.f1), (1.0, 1.0, 1.0));
+    }
+
+    /// Hand-computed mixed case: two segments [1,3) and [5,8), 5 anomalous
+    /// points total. Pred hits index 2 (credits segment one: 2 TP), misses
+    /// segment two entirely (3 FN), and flags normal index 4 (1 FP).
+    /// precision = 2/3, recall = 2/5, f1 = 2·(2/3)·(2/5)/(2/3 + 2/5) = 1/2.
+    #[test]
+    fn known_answer_two_segments_one_missed() {
+        let truth = [false, true, true, false, false, true, true, true];
+        let pred = [false, false, true, false, true, false, false, false];
+        let s = point_adjusted_scores(&pred, &truth);
+        assert!((s.precision - 2.0 / 3.0).abs() < 1e-6, "precision {}", s.precision);
+        assert!((s.recall - 2.0 / 5.0).abs() < 1e-6, "recall {}", s.recall);
+        assert!((s.f1 - 0.5).abs() < 1e-6, "f1 {}", s.f1);
+    }
+
+    /// Empty-label edge case: no true anomalies. Any prediction is a false
+    /// positive (precision 0), and with zero positives recall is defined to
+    /// 0 — so F1 is 0, never NaN.
+    #[test]
+    fn empty_labels_give_zero_f1_not_nan() {
+        let truth = [false; 6];
+        let s = point_adjusted_scores(&[false, true, false, true, false, false], &truth);
+        assert_eq!((s.precision, s.recall, s.f1), (0.0, 0.0, 0.0));
+        let quiet = point_adjusted_scores(&[false; 6], &truth);
+        assert_eq!(quiet.f1, 0.0);
+        assert!(!quiet.f1.is_nan() && !s.f1.is_nan());
+        // Degenerate empty slices are also defined (all counts zero).
+        let empty = point_adjusted_scores(&[], &[]);
+        assert_eq!(empty.f1, 0.0);
+    }
+
+    /// All-anomalous edge case: the series is one giant segment, so a single
+    /// flagged point yields perfect scores after adjustment, while an empty
+    /// prediction stays at zero.
+    #[test]
+    fn all_anomalous_series() {
+        let truth = [true; 5];
+        let one_hit = point_adjusted_scores(&[false, false, true, false, false], &truth);
+        assert_eq!((one_hit.precision, one_hit.recall, one_hit.f1), (1.0, 1.0, 1.0));
+        let silent = point_adjusted_scores(&[false; 5], &truth);
+        assert_eq!((silent.precision, silent.recall, silent.f1), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn point_adjusted_f1_thresholds_scores() {
+        // Scores: segment [1,3) peaks at 0.9 on index 1 only; index 4 is a
+        // borderline normal point at exactly the threshold (NOT flagged —
+        // the comparison is strict).
+        let truth = [false, true, true, false, false];
+        let scores = [0.1, 0.9, 0.2, 0.1, 0.5];
+        let f1 = point_adjusted_f1(&scores, &truth, 0.5);
+        assert_eq!(f1, 1.0, "one in-segment hit expands to a perfect match");
+        // Lowering the threshold pulls in index 4 as a false positive:
+        // tp = 2, fp = 1 → precision 2/3, recall 1, f1 = 0.8.
+        let f1_loose = point_adjusted_f1(&scores, &truth, 0.4);
+        assert!((f1_loose - 0.8).abs() < 1e-6, "f1 {f1_loose}");
     }
 
     #[test]

@@ -17,7 +17,7 @@ pub mod m4;
 pub mod ranking;
 pub mod regression;
 
-pub use anomaly::{point_adjusted_scores, DetectionScores};
+pub use anomaly::{point_adjusted_f1, point_adjusted_scores, threshold_by_ratio, DetectionScores};
 pub use classification::accuracy;
 pub use m4::{mase, owa, smape, M4Score};
 pub use ranking::{mean_ranks, win_counts};

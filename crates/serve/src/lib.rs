@@ -118,6 +118,24 @@ impl Default for ServeConfig {
     }
 }
 
+impl ServeConfig {
+    /// Preset for one-at-a-time callers (the streaming scorer): coalescing
+    /// off (`max_wait` zero), a single worker, and batches of one. A
+    /// sequential caller gains nothing from the batcher window — it only
+    /// adds `max_wait` of dead time per request — and one worker keeps the
+    /// evaluation order identical to the submission order, which the stream
+    /// replay-determinism gate relies on. Plans stay on: they are
+    /// bit-identical to tape eval and this is the latency-sensitive path.
+    pub fn low_latency() -> Self {
+        ServeConfig {
+            max_batch: 1,
+            max_wait: Duration::ZERO,
+            workers: 1,
+            ..ServeConfig::default()
+        }
+    }
+}
+
 /// Whether `MSD_PLAN` disables compiled plans for this process.
 fn plan_env_off() -> bool {
     std::env::var("MSD_PLAN")

@@ -586,3 +586,29 @@ fn smoke_1k_mixed_shape_requests_zero_lost_zero_corrupted() {
     assert!(text.lines().any(|l| l.contains("serve_stop")));
     let _ = std::fs::remove_file(&events);
 }
+
+#[test]
+fn low_latency_preset_is_bit_identical_and_keeps_submission_order() {
+    let cfg = ServeConfig::low_latency();
+    assert_eq!(cfg.max_batch, 1);
+    assert_eq!(cfg.max_wait, Duration::ZERO);
+    assert_eq!(cfg.workers, 1);
+
+    // Affine's init seed is fixed, so two builds are bit-identical: one is
+    // the sequential reference, one goes to the server.
+    let mut ref_store = ParamStore::new();
+    let ref_model = Affine::new(&mut ref_store, 2, 16);
+    let mut store = ParamStore::new();
+    let model = Affine::new(&mut store, 2, 16);
+    let server = Server::start(model, store, cfg).unwrap();
+
+    for i in 0..32u64 {
+        let x = sample(2, 16, 900 + i);
+        let y = server.infer(x.clone()).expect("low-latency request succeeds");
+        assert_bits_equal(&y, &ref_model.predict(&ref_store, &x), "low-latency response");
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.completed, 32);
+    assert_eq!(stats.batches, 32, "batch-of-one: no coalescing");
+    assert!(stats.ledger_balanced(), "{}", stats.to_json());
+}

@@ -1,0 +1,231 @@
+//! Drift detection over the stream's anomaly-score telemetry.
+//!
+//! The statistic is a z-score of the recent score level against a frozen
+//! baseline: after `calibration` window scores establish the baseline mean
+//! and standard deviation (Welford, f64), the detector keeps a rolling
+//! window of the last `window` scores and computes
+//!
+//! `z = (mean(recent) − mean(baseline)) / max(std(baseline), floor)`
+//!
+//! where `floor = max(0.1·|mean(baseline)|, 1e-6)` keeps a very quiet
+//! baseline from turning natural fluctuation into huge sigma counts.
+//!
+//! Hysteresis contract: the detector is a three-state machine —
+//! **Calibrating → Armed → Triggered**. Only the Armed→Triggered edge
+//! (z rising through `upper`) reports a drift; while Triggered, no further
+//! drift is reported until z falls below `lower` and the detector re-arms.
+//! `upper > lower` therefore bounds the event rate: an oscillating
+//! statistic near the threshold cannot emit an event storm. After the
+//! engine adapts (retrain + swap) it calls [`DriftDetector::recalibrate`],
+//! which discards both baseline and recent scores — the old baseline
+//! described the old model's score distribution.
+//!
+//! Everything here is sequential f64 over the pushed scores, so for a
+//! seeded stream the full state trajectory (and thus every emitted event)
+//! is replay-deterministic.
+
+use msd_tensor::stats::Welford;
+use std::collections::VecDeque;
+
+/// Detector thresholds and window sizes.
+#[derive(Clone, Copy, Debug)]
+pub struct DriftConfig {
+    /// Scores used to freeze the baseline mean/std.
+    pub calibration: usize,
+    /// Rolling window of recent scores the statistic is computed over.
+    pub window: usize,
+    /// Armed→Triggered threshold on the z statistic.
+    pub upper: f32,
+    /// Triggered→Armed re-arm threshold (hysteresis; must be < `upper`).
+    pub lower: f32,
+}
+
+impl DriftConfig {
+    fn validate(&self) {
+        assert!(self.calibration >= 2, "baseline needs at least two scores");
+        assert!(self.window >= 1, "statistic window must be non-empty");
+        assert!(self.lower < self.upper, "hysteresis requires lower < upper");
+    }
+}
+
+/// Detector phase.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DriftState {
+    /// Accumulating the baseline; no statistic yet.
+    Calibrating,
+    /// Baseline frozen, watching for an upward crossing.
+    Armed,
+    /// A drift fired; suppressing repeats until the statistic recovers.
+    Triggered,
+}
+
+/// What one pushed score did to the detector.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum DriftSignal {
+    /// No state change.
+    None,
+    /// Calibration just completed; the baseline is now frozen.
+    Calibrated,
+    /// The statistic crossed `upper` while armed: drift detected.
+    Drift(f32),
+}
+
+/// Windowed z-statistic drift detector with hysteresis.
+pub struct DriftDetector {
+    cfg: DriftConfig,
+    baseline: Welford,
+    recent: VecDeque<f64>,
+    recent_sum: f64,
+    state: DriftState,
+}
+
+impl DriftDetector {
+    /// A fresh (calibrating) detector.
+    pub fn new(cfg: DriftConfig) -> Self {
+        cfg.validate();
+        Self {
+            cfg,
+            baseline: Welford::new(),
+            recent: VecDeque::with_capacity(cfg.window),
+            recent_sum: 0.0,
+            state: DriftState::Calibrating,
+        }
+    }
+
+    /// Current phase.
+    pub fn state(&self) -> DriftState {
+        self.state
+    }
+
+    /// Frozen baseline `(mean, std)`, available once armed or triggered.
+    pub fn baseline(&self) -> Option<(f64, f64)> {
+        if self.state == DriftState::Calibrating {
+            None
+        } else {
+            Some((self.baseline.mean(), self.baseline.std()))
+        }
+    }
+
+    /// Feeds one window score; reports what changed.
+    pub fn push(&mut self, score: f32) -> DriftSignal {
+        if self.state == DriftState::Calibrating {
+            self.baseline.push(score as f64);
+            if self.baseline.count() >= self.cfg.calibration as u64 {
+                self.state = DriftState::Armed;
+                return DriftSignal::Calibrated;
+            }
+            return DriftSignal::None;
+        }
+        self.recent.push_back(score as f64);
+        self.recent_sum += score as f64;
+        if self.recent.len() > self.cfg.window {
+            // Recompute the sum instead of subtracting: a running
+            // subtract-on-evict accumulates different rounding than any
+            // fixed-order sum and would make the statistic depend on how
+            // long the stream has run.
+            self.recent.pop_front();
+            self.recent_sum = self.recent.iter().sum();
+        }
+        if self.recent.len() < self.cfg.window {
+            return DriftSignal::None;
+        }
+        let mean = self.recent_sum / self.recent.len() as f64;
+        // The std floor is relative to the baseline level: a very quiet
+        // baseline (tiny absolute std) would otherwise make natural
+        // fluctuation read as many "sigmas" and hair-trigger the detector.
+        let floor = (0.1 * self.baseline.mean().abs()).max(1e-6);
+        let z = ((mean - self.baseline.mean()) / self.baseline.std().max(floor)) as f32;
+        match self.state {
+            DriftState::Armed if z > self.cfg.upper => {
+                self.state = DriftState::Triggered;
+                DriftSignal::Drift(z)
+            }
+            DriftState::Triggered if z < self.cfg.lower => {
+                self.state = DriftState::Armed;
+                DriftSignal::None
+            }
+            _ => DriftSignal::None,
+        }
+    }
+
+    /// Discards baseline and recent scores and returns to Calibrating —
+    /// called after the serving model changes.
+    pub fn recalibrate(&mut self) {
+        self.baseline = Welford::new();
+        self.recent.clear();
+        self.recent_sum = 0.0;
+        self.state = DriftState::Calibrating;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> DriftConfig {
+        DriftConfig {
+            calibration: 4,
+            window: 2,
+            upper: 3.0,
+            lower: 1.0,
+        }
+    }
+
+    #[test]
+    fn fires_once_on_level_shift_and_rearms_with_hysteresis() {
+        let mut d = DriftDetector::new(cfg());
+        // Baseline: {0, 1, 0, 1} → mean 0.5, std 0.5.
+        for v in [0.0, 1.0, 0.0, 1.0] {
+            let sig = d.push(v);
+            if v == 1.0 && d.baseline.count() == 4 {
+                assert_eq!(sig, DriftSignal::Calibrated);
+            }
+        }
+        assert_eq!(d.state(), DriftState::Armed);
+        assert_eq!(d.baseline(), Some((0.5, 0.5)));
+        // Recent mean 0.5 → z = 0: no drift.
+        assert_eq!(d.push(0.5), DriftSignal::None);
+        assert_eq!(d.push(0.5), DriftSignal::None);
+        // Level shift to 4.0: recent window {0.5, 4.0} has mean 2.25, so
+        // z = (2.25 − 0.5) / 0.5 = 3.5 crosses upper = 3 immediately.
+        match d.push(4.0) {
+            DriftSignal::Drift(z) => assert!((z - 3.5).abs() < 1e-5, "z {z}"),
+            other => panic!("expected drift, got {other:?}"),
+        }
+        assert_eq!(d.state(), DriftState::Triggered);
+        // Still elevated (z = 7): suppressed (hysteresis), not re-fired.
+        assert_eq!(d.push(4.0), DriftSignal::None);
+        // Recovery: {4.0, 0.5} still has z = 3.5 ≥ lower, {0.5, 0.5} has
+        // z = 0 < lower = 1 → re-arm.
+        assert_eq!(d.push(0.5), DriftSignal::None);
+        assert_eq!(d.state(), DriftState::Triggered);
+        assert_eq!(d.push(0.5), DriftSignal::None);
+        assert_eq!(d.state(), DriftState::Armed);
+        // A second excursion fires again: {0.5, 9.0} has z = 8.5.
+        assert!(matches!(d.push(9.0), DriftSignal::Drift(_)));
+    }
+
+    #[test]
+    fn recalibrate_resets_everything() {
+        let mut d = DriftDetector::new(cfg());
+        for v in [0.0, 1.0, 0.0, 1.0, 5.0, 5.0] {
+            d.push(v);
+        }
+        assert_eq!(d.state(), DriftState::Triggered);
+        d.recalibrate();
+        assert_eq!(d.state(), DriftState::Calibrating);
+        assert_eq!(d.baseline(), None);
+    }
+
+    #[test]
+    fn constant_baseline_uses_floored_std() {
+        let mut d = DriftDetector::new(cfg());
+        for _ in 0..4 {
+            d.push(1.0);
+        }
+        // std floored at 10% of the baseline level: any real excursion
+        // triggers immediately (z = (2−1)/0.1 = 10).
+        d.push(2.0);
+        assert!(matches!(d.push(2.0), DriftSignal::Drift(_)));
+    }
+}

@@ -1,0 +1,131 @@
+//! Sliding-window ingestion over an unbounded stream: a fixed ring buffer
+//! holding the last `L` multivariate samples, emitting `[C, L]` windows
+//! every `stride` samples once the first window has filled.
+//!
+//! The contract (checked by the property test in `tests/stream_contracts.rs`)
+//! is that the emitted windows are byte-identical to materialising the whole
+//! series and slicing: window `k` covers samples
+//! `[k·stride, k·stride + L)` in arrival order.
+
+use msd_tensor::Tensor;
+
+/// Ring buffer that turns per-sample pushes into `[C, L]` windows.
+pub struct RingWindower {
+    channels: usize,
+    window: usize,
+    stride: usize,
+    /// Channel-major storage: `buf[ch * window + (t % window)]` holds
+    /// channel `ch` of sample `t`.
+    buf: Vec<f32>,
+    /// Samples pushed so far.
+    t: u64,
+}
+
+impl RingWindower {
+    /// A windower over `channels`-variate samples emitting length-`window`
+    /// windows every `stride` samples.
+    pub fn new(channels: usize, window: usize, stride: usize) -> Self {
+        assert!(channels > 0, "need at least one channel");
+        assert!(window > 0, "window length must be positive");
+        assert!(stride > 0, "stride must be positive");
+        Self {
+            channels,
+            window,
+            stride,
+            buf: vec![0.0; channels * window],
+            t: 0,
+        }
+    }
+
+    /// Samples ingested so far.
+    pub fn samples_seen(&self) -> u64 {
+        self.t
+    }
+
+    /// Ingests one sample (one value per channel). Returns the completed
+    /// `[C, L]` window when this sample is the last of one: sample index
+    /// `t` (0-based) closes a window iff `t + 1 ≥ L` and
+    /// `(t + 1 − L) % stride == 0`.
+    pub fn push(&mut self, sample: &[f32]) -> Option<Tensor> {
+        assert_eq!(sample.len(), self.channels, "sample channel mismatch");
+        let l = self.window as u64;
+        let pos = (self.t % l) as usize;
+        for (ch, &v) in sample.iter().enumerate() {
+            self.buf[ch * self.window + pos] = v;
+        }
+        self.t += 1;
+        if self.t >= l && (self.t - l).is_multiple_of(self.stride as u64) {
+            Some(self.materialize())
+        } else {
+            None
+        }
+    }
+
+    /// Copies the window ending at the last pushed sample out of the ring
+    /// in arrival order. The oldest sample of the window lives at ring slot
+    /// `(t − L) % L == t % L` — exactly where the *next* sample will land.
+    fn materialize(&self) -> Tensor {
+        let l = self.window;
+        let start = (self.t % l as u64) as usize;
+        let mut out = Vec::with_capacity(self.channels * l);
+        for ch in 0..self.channels {
+            let row = &self.buf[ch * l..(ch + 1) * l];
+            for k in 0..l {
+                out.push(row[(start + k) % l]);
+            }
+        }
+        Tensor::from_vec(&[self.channels, l], out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_window_fills_then_strides() {
+        let mut w = RingWindower::new(1, 4, 2);
+        let mut emitted = Vec::new();
+        for t in 0..10 {
+            if let Some(win) = w.push(&[t as f32]) {
+                emitted.push(win.data().to_vec());
+            }
+        }
+        assert_eq!(
+            emitted,
+            vec![
+                vec![0.0, 1.0, 2.0, 3.0],
+                vec![2.0, 3.0, 4.0, 5.0],
+                vec![4.0, 5.0, 6.0, 7.0],
+                vec![6.0, 7.0, 8.0, 9.0],
+            ]
+        );
+    }
+
+    #[test]
+    fn channels_stay_channel_major() {
+        let mut w = RingWindower::new(2, 3, 3);
+        let mut last = None;
+        for t in 0..6 {
+            if let Some(win) = w.push(&[t as f32, 10.0 + t as f32]) {
+                last = Some(win);
+            }
+        }
+        let win = last.unwrap();
+        assert_eq!(win.shape(), &[2, 3]);
+        assert_eq!(win.data(), &[3.0, 4.0, 5.0, 13.0, 14.0, 15.0]);
+    }
+
+    #[test]
+    fn stride_larger_than_window_leaves_gaps() {
+        let mut w = RingWindower::new(1, 2, 5);
+        let mut starts = Vec::new();
+        for t in 0..20 {
+            if let Some(win) = w.push(&[t as f32]) {
+                starts.push(win.data()[0] as usize);
+            }
+        }
+        // Windows cover [0,2), [5,7), [10,12), [15,17).
+        assert_eq!(starts, vec![0, 5, 10, 15]);
+    }
+}

@@ -49,9 +49,108 @@ pub fn acf_violation_rate(series: &[f32], max_lag: usize) -> f32 {
     coeffs.iter().filter(|a| a.abs() > bound).count() as f32 / coeffs.len() as f32
 }
 
+/// Welford's online mean/variance accumulator.
+///
+/// All arithmetic is sequential `f64`, so the result depends only on the
+/// order of `push` calls — never on `MSD_NUM_THREADS` or the kernel tier.
+/// That makes it safe to use on the streaming hot path under the repo's
+/// replay-determinism contract. `variance` is the *population* variance
+/// (`M2 / n`), matching [`crate::stats`]-style normalisation and the
+/// `StandardScaler` convention in `msd-data`; it is `0.0` until two samples
+/// have been pushed.
+#[derive(Clone, Debug, Default)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one observation in.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+    }
+
+    /// Number of observations pushed so far.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Running mean (`0.0` while empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Running population variance `M2 / n` (`0.0` for fewer than two
+    /// observations; never negative).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            (self.m2 / self.n as f64).max(0.0)
+        }
+    }
+
+    /// `variance().sqrt()`.
+    pub fn std(&self) -> f64 {
+        self.variance().sqrt()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn welford_matches_two_pass_on_random_data() {
+        let mut rng = crate::rng::Rng::seed_from(42);
+        let xs: Vec<f64> = (0..1000).map(|_| rng.normal() as f64 * 3.0 + 7.0).collect();
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        assert!((w.mean() - mean).abs() < 1e-12, "mean {} vs {}", w.mean(), mean);
+        assert!((w.variance() - var).abs() < 1e-12, "var {} vs {}", w.variance(), var);
+    }
+
+    #[test]
+    fn welford_constant_series_has_zero_variance() {
+        let mut w = Welford::new();
+        for _ in 0..100 {
+            w.push(3.25);
+        }
+        assert_eq!(w.mean(), 3.25);
+        assert_eq!(w.variance(), 0.0);
+        assert_eq!(w.std(), 0.0);
+    }
+
+    #[test]
+    fn welford_edge_counts() {
+        let w = Welford::new();
+        assert_eq!(w.count(), 0);
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.variance(), 0.0);
+        let mut w1 = Welford::new();
+        w1.push(-4.5);
+        assert_eq!(w1.count(), 1);
+        assert_eq!(w1.mean(), -4.5);
+        assert_eq!(w1.variance(), 0.0, "one sample has no spread");
+    }
 
     #[test]
     fn acf_of_constant_is_zero() {

@@ -259,3 +259,45 @@ if grep -qE '"lost":[1-9]' target/BENCH_gateway.json; then
   echo "chaos smoke lost requests" >&2; exit 1
 fi
 echo "chaos smoke OK: fired $(grep -c '^{.*}$' target/chaos-events.jsonl) faults, zero lost"
+
+# Streaming gate: the stream crate's suites (ring/Welford contracts, the
+# in-process replay gate, warm-retrain bit-identity) run explicitly and
+# must never be filtered out.
+cargo test -p msd-stream -q --offline
+
+# Streaming replay determinism across processes: the harness bin runs the
+# seeded drift scenario twice — warmup, base train, online scoring, drift
+# trigger, warm retrain, hot-swap — and the two runs' score and event logs
+# must be byte-identical. The bin itself exits non-zero on zero drift
+# events, a missing hot-swap, any lost request, or no point-adjusted F1
+# improvement after adaptation, so this gate also covers the "zero dropped
+# requests" and "adaptation helps" contracts.
+rm -rf target/stream-run1 target/stream-run2
+cargo run --release --offline -p msd-stream -- --out-dir target/stream-run1
+cargo run --release --offline -p msd-stream -- --out-dir target/stream-run2
+cmp target/stream-run1/scores.jsonl target/stream-run2/scores.jsonl || {
+  echo "streaming score logs are not byte-identical between replays" >&2; exit 1;
+}
+cmp target/stream-run1/events.jsonl target/stream-run2/events.jsonl || {
+  echo "streaming event logs are not byte-identical between replays" >&2; exit 1;
+}
+grep -q '"event":"drift"' target/stream-run1/events.jsonl || {
+  echo "streaming event log recorded no drift" >&2; exit 1;
+}
+grep -q '"event":"swap"' target/stream-run1/events.jsonl || {
+  echo "streaming event log recorded no swap" >&2; exit 1;
+}
+cp target/stream-run1/events.jsonl target/stream-events.jsonl
+echo "streaming replay OK: logs byte-identical across runs"
+
+# Stream throughput bench: samples/sec and windows/sec through the full
+# ingestion -> standardization -> gateway-scored pipeline plus score-latency
+# percentiles. Appends JSONL to target/BENCH_stream.json (CI artifact);
+# pure reporting, no timing floor, so no retry.
+rm -f target/BENCH_stream.json
+cargo bench --offline -p msd-bench --bench extra_stream_throughput
+test -s target/BENCH_stream.json || { echo "stream bench wrote no report" >&2; exit 1; }
+grep -q '"windows_per_sec"' target/BENCH_stream.json || {
+  echo "stream report missing throughput" >&2; exit 1;
+}
+echo "stream bench OK: report in target/BENCH_stream.json"
